@@ -1,0 +1,82 @@
+// Ablations beyond the paper's figures, for the design choices DESIGN.md
+// calls out: hint staging, push selection, offline crawl-window length, and
+// device-equivalence handling.
+#include "bench_common.h"
+
+int main() {
+  using namespace vroom;
+  bench::banner("Ablations", "Vroom design-choice sensitivity");
+  const harness::RunOptions opt = bench::default_options();
+  const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
+
+  // 1. Client staging on/off (hints identical, scheduling differs).
+  {
+    baselines::Strategy unstaged = baselines::vroom();
+    unstaged.name = "Vroom, unstaged client";
+    unstaged.sched = baselines::Strategy::Sched::FetchAsap;
+    harness::print_quartile_bars(
+        "Ablation 1: client-side staging", "seconds PLT",
+        {bench::plt_series(ns, baselines::vroom(), opt),
+         bench::plt_series(ns, unstaged, opt)});
+  }
+
+  // 2. Push selection: none / high-priority-local / all-local.
+  {
+    baselines::Strategy no_push = baselines::vroom();
+    no_push.name = "Vroom, hints only (no push)";
+    no_push.provider.push = core::PushSelection::None;
+    baselines::Strategy push_all = baselines::vroom();
+    push_all.name = "Vroom, push all local";
+    push_all.provider.push = core::PushSelection::AllLocal;
+    harness::print_quartile_bars(
+        "Ablation 2: push selection", "seconds PLT",
+        {bench::plt_series(ns, baselines::vroom(), opt),
+         bench::plt_series(ns, no_push, opt),
+         bench::plt_series(ns, push_all, opt)});
+  }
+
+  // 3. Offline crawl-window length (number of hourly loads intersected).
+  {
+    std::vector<harness::Series> rows;
+    for (int loads : {1, 3, 6}) {
+      baselines::Strategy s = baselines::vroom();
+      s.name = "Vroom, " + std::to_string(loads) + " crawl(s)";
+      s.provider.offline.loads = loads;
+      rows.push_back(bench::plt_series(ns, s, opt));
+    }
+    harness::print_quartile_bars("Ablation 3: offline crawl window",
+                                 "seconds PLT", rows);
+  }
+
+  // 4. Hint budget: how many hint URLs per response are enough?
+  {
+    std::vector<harness::Series> rows;
+    for (int budget : {0, 80, 40, 15}) {
+      baselines::Strategy s = baselines::vroom();
+      s.name = budget == 0 ? "Vroom, unlimited hints"
+                           : "Vroom, <=" + std::to_string(budget) + " hints";
+      s.provider.max_hints = budget;
+      rows.push_back(bench::plt_series(ns, s, opt));
+    }
+    harness::print_quartile_bars("Ablation 4: hint-header budget",
+                                 "seconds PLT", rows);
+  }
+
+  // 5. Device handling: exact / equivalence classes / single class.
+  {
+    std::vector<harness::Series> rows;
+    const std::pair<core::DeviceHandling, const char*> modes[] = {
+        {core::DeviceHandling::Exact, "exact device"},
+        {core::DeviceHandling::EquivalenceClasses, "equivalence classes"},
+        {core::DeviceHandling::SingleClass, "single class"}};
+    for (const auto& [mode, label] : modes) {
+      baselines::Strategy s = baselines::vroom();
+      s.name = std::string("Vroom, ") + label;
+      s.provider.offline.device_handling = mode;
+      rows.push_back(bench::plt_series(ns, s, opt));
+    }
+    harness::print_quartile_bars("Ablation 5: device handling",
+                                 "seconds PLT", rows);
+  }
+  return 0;
+}

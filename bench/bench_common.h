@@ -1,0 +1,40 @@
+// Shared setup for the figure-regeneration benches.
+//
+// Every bench prints the same rows/series as the corresponding figure in the
+// paper (shape reproduction; absolute values come from the simulated device
+// and link, see EXPERIMENTS.md). Set VROOM_BENCH_PAGES=<n> to cap corpus
+// size for quick runs.
+#pragma once
+
+#include <cstdio>
+
+#include "baselines/strategies.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/stats.h"
+#include "web/corpus.h"
+
+namespace vroom::bench {
+
+constexpr std::uint64_t kSeed = 42;
+
+inline harness::RunOptions default_options() {
+  harness::RunOptions opt;
+  opt.seed = kSeed;
+  return opt;
+}
+
+inline harness::Series plt_series(const web::Corpus& corpus,
+                                  const baselines::Strategy& strategy,
+                                  const harness::RunOptions& opt) {
+  auto res = harness::run_corpus(corpus, strategy, opt);
+  return {strategy.name, res.plt_seconds()};
+}
+
+inline void banner(const char* fig, const char* what) {
+  std::printf("-------------------------------------------------------\n");
+  std::printf("%s: %s\n", fig, what);
+  std::printf("-------------------------------------------------------\n");
+}
+
+}  // namespace vroom::bench

@@ -1,0 +1,42 @@
+// §8 AMP comparison: how much of Vroom's benefit does an AMP-style page
+// rewrite capture, and does Vroom still help AMP pages? (The paper: "VROOM
+// can speed up the loads of legacy web pages [and] can also improve the
+// performance of AMP-based pages by enabling asynchronous fetches earlier
+// using server-provided hints.")
+#include "web/amp.h"
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vroom;
+  bench::banner("AMP comparison", "legacy vs AMP-transformed pages");
+  const harness::RunOptions opt = bench::default_options();
+  const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
+  const int n = harness::effective_page_count(static_cast<int>(ns.size()));
+
+  std::vector<double> legacy_h2, legacy_vroom, amp_h2, amp_vroom;
+  for (int i = 0; i < n; ++i) {
+    const web::PageModel& page = ns.page(static_cast<std::size_t>(i));
+    const web::PageModel amp = web::amp_transform(page);
+    legacy_h2.push_back(sim::to_seconds(
+        harness::run_page_median(page, baselines::http2_baseline(), opt).plt));
+    legacy_vroom.push_back(sim::to_seconds(
+        harness::run_page_median(page, baselines::vroom(), opt).plt));
+    amp_h2.push_back(sim::to_seconds(
+        harness::run_page_median(amp, baselines::http2_baseline(), opt).plt));
+    amp_vroom.push_back(sim::to_seconds(
+        harness::run_page_median(amp, baselines::vroom(), opt).plt));
+  }
+  harness::print_quartile_bars("Page Load Time", "seconds",
+                               {{"Legacy, HTTP/2", legacy_h2},
+                                {"Legacy, Vroom", legacy_vroom},
+                                {"AMP, HTTP/2", amp_h2},
+                                {"AMP, Vroom", amp_vroom}});
+  harness::print_stat("median AMP improvement under HTTP/2",
+                      harness::median(legacy_h2) - harness::median(amp_h2),
+                      "s");
+  harness::print_stat("median Vroom improvement on AMP pages",
+                      harness::median(amp_h2) - harness::median(amp_vroom),
+                      "s");
+  return 0;
+}

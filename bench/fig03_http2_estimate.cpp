@@ -1,0 +1,18 @@
+// Figure 3: estimated improvement from global HTTP/2 adoption, with and
+// without the first party pushing all of its static resources, against
+// HTTP/1.1 replay (which tracks real web loads).
+#include "bench_common.h"
+
+int main() {
+  using namespace vroom;
+  bench::banner("Figure 3", "HTTP/2 adoption estimate");
+  const harness::RunOptions opt = bench::default_options();
+  const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
+
+  harness::print_cdf_table(
+      "Page Load Time", "seconds",
+      {bench::plt_series(ns, baselines::http2_baseline(), opt),
+       bench::plt_series(ns, baselines::push_all_static(), opt),
+       bench::plt_series(ns, baselines::http11(), opt)});
+  return 0;
+}

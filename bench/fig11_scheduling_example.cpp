@@ -1,0 +1,73 @@
+// Figure 11: receipt time of the first ten resources that must be processed
+// on one complex page (a eurosport.com stand-in), relative to baseline
+// HTTP/2, under "Push All, Fetch ASAP" versus Vroom's cooperative schedule.
+#include <algorithm>
+
+#include "bench_common.h"
+
+namespace {
+
+// Receipt times of the first `k` processable resources, ordered by their
+// baseline-HTTP/2 completion.
+std::vector<double> first_k_processable(
+    const vroom::browser::LoadResult& result,
+    const std::vector<std::string>& order) {
+  std::vector<double> out;
+  for (const auto& url : order) {
+    for (const auto& t : result.timings) {
+      if (t.url == url && t.complete != vroom::sim::kNever) {
+        out.push_back(vroom::sim::to_seconds(t.complete));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vroom;
+  bench::banner("Figure 11",
+                "receipt-time of first 10 processed resources vs HTTP/2");
+  harness::RunOptions opt = bench::default_options();
+  // One complex sports page plays the eurosport.com role.
+  const web::PageModel page =
+      web::generate_page(bench::kSeed, 101, web::PageClass::Sports);
+
+  auto h2 = harness::run_page_load(page, baselines::http2_baseline(), opt, 1);
+  auto asap =
+      harness::run_page_load(page, baselines::push_all_fetch_asap(), opt, 1);
+  auto vr = harness::run_page_load(page, baselines::vroom(), opt, 1);
+
+  // Order resources by their baseline completion times (the figure's x-axis).
+  std::vector<std::pair<sim::Time, std::string>> base;
+  for (const auto& t : h2.timings) {
+    if (t.referenced && t.processable && t.complete != sim::kNever) {
+      base.emplace_back(t.complete, t.url);
+    }
+  }
+  std::sort(base.begin(), base.end());
+  std::vector<std::string> order;
+  for (std::size_t i = 0; i < base.size() && i < 10; ++i) {
+    order.push_back(base[i].second);
+  }
+
+  const auto h2_t = first_k_processable(h2, order);
+  const auto asap_t = first_k_processable(asap, order);
+  const auto vr_t = first_k_processable(vr, order);
+
+  std::printf("%10s  %12s  %22s  %12s\n", "resource", "HTTP/2 (s)",
+              "PushAll-FetchASAP delta", "Vroom delta");
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const double a = i < asap_t.size() ? asap_t[i] - h2_t[i] : 0;
+    const double v = i < vr_t.size() ? vr_t[i] - h2_t[i] : 0;
+    std::printf("%10zu  %12.3f  %22.3f  %12.3f\n", i + 1, h2_t[i], a, v);
+  }
+  const double worst_asap =
+      *std::max_element(asap_t.begin(), asap_t.end()) -
+      *std::max_element(h2_t.begin(), h2_t.end());
+  harness::print_stat("last-of-10 delta, Push All Fetch ASAP", worst_asap,
+                      "s");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 13: the headline result — PLT, Above-the-Fold Time, and Speed Index
+// CDFs for Lower Bound / Vroom / HTTP/2 Baseline / HTTP/1.1 over the News +
+// Sports corpus. Also prints the §6.1 extras: the Mixed-400 corpus medians
+// and the incremental-deployment (first-party-only) median.
+#include <algorithm>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vroom;
+  bench::banner("Figure 13", "PLT / AFT / Speed Index, headline comparison");
+  const harness::RunOptions opt = bench::default_options();
+  const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
+
+  auto lb_net = harness::run_corpus(ns, baselines::lower_bound_network(), opt);
+  auto lb_cpu = harness::run_corpus(ns, baselines::lower_bound_cpu(), opt);
+  auto vr = harness::run_corpus(ns, baselines::vroom(), opt);
+  auto h2 = harness::run_corpus(ns, baselines::http2_baseline(), opt);
+  auto h1 = harness::run_corpus(ns, baselines::http11(), opt);
+
+  auto bound_of = [&](auto getter) {
+    std::vector<double> out;
+    const auto a = getter(lb_net), b = getter(lb_cpu);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      out.push_back(std::max(a[i], b[i]));
+    }
+    return out;
+  };
+
+  harness::print_cdf_table(
+      "(a) Page Load Time", "seconds",
+      {{"Lower Bound",
+        bound_of([](const harness::CorpusResult& r) { return r.plt_seconds(); })},
+       {"Vroom", vr.plt_seconds()},
+       {"HTTP/2 Baseline", h2.plt_seconds()},
+       {"HTTP/1.1", h1.plt_seconds()}});
+
+  harness::print_cdf_table(
+      "(b) Above-the-fold Time", "seconds",
+      {{"Lower Bound",
+        bound_of([](const harness::CorpusResult& r) { return r.aft_seconds(); })},
+       {"Vroom", vr.aft_seconds()},
+       {"HTTP/2 Baseline", h2.aft_seconds()},
+       {"HTTP/1.1", h1.aft_seconds()}});
+
+  harness::print_cdf_table(
+      "(c) Speed Index", "ms",
+      {{"Lower Bound", bound_of([](const harness::CorpusResult& r) {
+          return r.speed_indices();
+        })},
+       {"Vroom", vr.speed_indices()},
+       {"HTTP/2 Baseline", h2.speed_indices()},
+       {"HTTP/1.1", h1.speed_indices()}});
+
+  // §6.1 text results.
+  const web::Corpus mixed = web::Corpus::mixed400_sample(bench::kSeed);
+  auto mixed_h2 = harness::run_corpus(mixed, baselines::http2_baseline(), opt);
+  auto mixed_vr = harness::run_corpus(mixed, baselines::vroom(), opt);
+  auto partial =
+      harness::run_corpus(ns, baselines::vroom_first_party_only(), opt);
+
+  std::printf("\n-- §6.1 text results --\n");
+  harness::print_stat("Mixed-400 median PLT, HTTP/2",
+                      harness::median(mixed_h2.plt_seconds()), "s");
+  harness::print_stat("Mixed-400 median PLT, Vroom",
+                      harness::median(mixed_vr.plt_seconds()), "s");
+  harness::print_stat("News+Sports median PLT, Vroom first-party-only",
+                      harness::median(partial.plt_seconds()), "s");
+  return 0;
+}

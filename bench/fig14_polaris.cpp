@@ -1,0 +1,16 @@
+// Figure 14: Vroom versus Polaris (client-side reprioritization with a
+// precomputed fine-grained dependency graph) on News + Sports pages.
+#include "bench_common.h"
+
+int main() {
+  using namespace vroom;
+  bench::banner("Figure 14", "Vroom vs Polaris");
+  const harness::RunOptions opt = bench::default_options();
+  const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
+
+  harness::print_cdf_table(
+      "Page Load Time", "seconds",
+      {bench::plt_series(ns, baselines::vroom(), opt),
+       bench::plt_series(ns, baselines::polaris(), opt)});
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 17: accurate dependency inference matters — returning everything
+// seen in a single prior load (per-load churn included) hurts the tail.
+#include "bench_common.h"
+
+int main() {
+  using namespace vroom;
+  bench::banner("Figure 17", "utility of accurate dependency inference");
+  const harness::RunOptions opt = bench::default_options();
+  const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
+
+  auto lb_net = harness::run_corpus(ns, baselines::lower_bound_network(), opt);
+  auto lb_cpu = harness::run_corpus(ns, baselines::lower_bound_cpu(), opt);
+  std::vector<double> bound;
+  for (std::size_t i = 0; i < lb_net.loads.size(); ++i) {
+    bound.push_back(std::max(sim::to_seconds(lb_net.loads[i].plt),
+                             sim::to_seconds(lb_cpu.loads[i].plt)));
+  }
+
+  harness::print_quartile_bars(
+      "Page Load Time", "seconds",
+      {{"Lower Bound", bound},
+       bench::plt_series(ns, baselines::vroom(), opt),
+       bench::plt_series(ns, baselines::vroom_prev_load_deps(), opt),
+       bench::plt_series(ns, baselines::http2_baseline(), opt)});
+  return 0;
+}

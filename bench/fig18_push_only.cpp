@@ -1,0 +1,27 @@
+// Figure 18: HTTP/2 PUSH alone is insufficient — without dependency hints,
+// servers cannot tell clients about the third-party resources that dominate
+// modern pages.
+#include "bench_common.h"
+
+int main() {
+  using namespace vroom;
+  bench::banner("Figure 18", "push-only versus push + dependency hints");
+  const harness::RunOptions opt = bench::default_options();
+  const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
+
+  auto lb_net = harness::run_corpus(ns, baselines::lower_bound_network(), opt);
+  auto lb_cpu = harness::run_corpus(ns, baselines::lower_bound_cpu(), opt);
+  std::vector<double> bound;
+  for (std::size_t i = 0; i < lb_net.loads.size(); ++i) {
+    bound.push_back(std::max(sim::to_seconds(lb_net.loads[i].plt),
+                             sim::to_seconds(lb_cpu.loads[i].plt)));
+  }
+
+  harness::print_quartile_bars(
+      "Page Load Time", "seconds",
+      {{"Lower Bound", bound},
+       bench::plt_series(ns, baselines::vroom(), opt),
+       bench::plt_series(ns, baselines::push_high_prio_no_hints(), opt),
+       bench::plt_series(ns, baselines::push_all_no_hints(), opt)});
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 19: judicious coordinated scheduling of pushes and hint-driven
+// fetches is key; "Push All, Fetch ASAP" congests the access link and gives
+// up most of the gains.
+#include "bench_common.h"
+
+int main() {
+  using namespace vroom;
+  bench::banner("Figure 19", "utility of cooperative request scheduling");
+  const harness::RunOptions opt = bench::default_options();
+  const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
+
+  auto lb_net = harness::run_corpus(ns, baselines::lower_bound_network(), opt);
+  auto lb_cpu = harness::run_corpus(ns, baselines::lower_bound_cpu(), opt);
+  std::vector<double> bound;
+  for (std::size_t i = 0; i < lb_net.loads.size(); ++i) {
+    bound.push_back(std::max(sim::to_seconds(lb_net.loads[i].plt),
+                             sim::to_seconds(lb_cpu.loads[i].plt)));
+  }
+
+  harness::print_quartile_bars(
+      "Page Load Time", "seconds",
+      {{"Lower Bound", bound},
+       bench::plt_series(ns, baselines::vroom(), opt),
+       bench::plt_series(ns, baselines::push_all_fetch_asap(), opt),
+       {"No Push, No Hints",
+        harness::run_corpus(ns, baselines::http2_baseline(), opt)
+            .plt_seconds()}});
+  return 0;
+}

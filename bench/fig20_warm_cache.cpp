@@ -1,0 +1,53 @@
+// Figure 20: Vroom keeps helping when the browser cache is warm — repeat
+// loads back-to-back, one day later, and one week later.
+#include "browser/cache.h"
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace vroom;
+
+std::vector<double> warm_plts(const web::Corpus& corpus,
+                              const baselines::Strategy& strategy,
+                              sim::Time gap) {
+  std::vector<double> out;
+  const int n = harness::effective_page_count(static_cast<int>(corpus.size()));
+  for (int i = 0; i < n; ++i) {
+    const auto& page = corpus.page(static_cast<std::size_t>(i));
+    browser::Cache cache;
+    harness::RunOptions opt = bench::default_options();
+    opt.cache = &cache;
+    opt.loads_per_page = 1;
+    // Cold load warms the cache…
+    (void)harness::run_page_load(page, strategy, opt, 1);
+    // …then the measured load, `gap` later.
+    opt.when += gap;
+    out.push_back(
+        sim::to_seconds(harness::run_page_load(page, strategy, opt, 2).plt));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 20", "warm-cache repeat loads");
+  const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
+
+  const struct {
+    const char* label;
+    sim::Time gap;
+  } scenarios[] = {{"Back-to-back", sim::minutes(1)},
+                   {"1 Day Later", sim::days(1)},
+                   {"1 Week Later", sim::days(7)}};
+
+  for (const auto& sc : scenarios) {
+    harness::print_quartile_bars(
+        std::string("Page Load Time, ") + sc.label, "seconds",
+        {{"Vroom", warm_plts(ns, baselines::vroom(), sc.gap)},
+         {"HTTP/2 Baseline",
+          warm_plts(ns, baselines::http2_baseline(), sc.gap)}});
+  }
+  return 0;
+}

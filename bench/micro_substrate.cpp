@@ -1,0 +1,99 @@
+// Substrate micro-benchmarks (google-benchmark): simulator throughput for
+// the pieces every experiment leans on. These guard against performance
+// regressions that would make the corpus sweeps impractically slow.
+#include <benchmark/benchmark.h>
+
+#include "baselines/strategies.h"
+#include "core/accuracy.h"
+#include "core/offline_resolver.h"
+#include "harness/experiment.h"
+#include "net/tcp.h"
+#include "web/page_generator.h"
+
+namespace {
+
+using namespace vroom;
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule_at(i, [] {});
+    }
+    benchmark::DoNotOptimize(loop.run());
+  }
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_TcpBulkTransfer(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    net::Network net(loop, net::NetworkConfig::lte(), 1);
+    net::TcpConnection conn(net, "a.com", false);
+    conn.connect([&] {
+      net::TcpConnection::Chunk c;
+      c.bytes = state.range(0);
+      conn.send_chunk(std::move(c));
+    });
+    loop.run();
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TcpBulkTransfer)->Arg(100'000)->Arg(2'000'000);
+
+void BM_PageGeneration(benchmark::State& state) {
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        web::generate_page(42, id++, web::PageClass::News));
+  }
+}
+BENCHMARK(BM_PageGeneration);
+
+void BM_PageInstanceRealization(benchmark::State& state) {
+  const web::PageModel page = web::generate_page(42, 7, web::PageClass::News);
+  web::LoadIdentity id;
+  id.wall_time = sim::days(45);
+  id.device = web::nexus6();
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    id.nonce = nonce++;
+    benchmark::DoNotOptimize(web::PageInstance(page, id));
+  }
+}
+BENCHMARK(BM_PageInstanceRealization);
+
+void BM_StableSetResolution(benchmark::State& state) {
+  const web::PageModel page = web::generate_page(42, 7, web::PageClass::News);
+  core::OfflineResolver resolver(page, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.stable_set(
+        sim::days(45), web::nexus6(), page.first_party(), 1));
+  }
+}
+BENCHMARK(BM_StableSetResolution);
+
+void BM_FullPageLoad(benchmark::State& state) {
+  const web::PageModel page = web::generate_page(42, 7, web::PageClass::News);
+  const harness::RunOptions opt;
+  const baselines::Strategy strategy =
+      state.range(0) == 0 ? baselines::http2_baseline() : baselines::vroom();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::run_page_load(page, strategy, opt, 1));
+  }
+}
+BENCHMARK(BM_FullPageLoad)->Arg(0)->Arg(1);
+
+void BM_AccuracyMeasurement(benchmark::State& state) {
+  const web::PageModel page = web::generate_page(42, 7, web::PageClass::News);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::measure_accuracy(
+        page, sim::days(45), web::nexus6(), 1,
+        core::ResolutionMode::OfflinePlusOnline, {}));
+  }
+}
+BENCHMARK(BM_AccuracyMeasurement);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Incremental deployment (§6.1): what does a single organization gain by
+// adopting Vroom on its own domains while every third party stays plain
+// HTTP/2?
+//
+//   $ ./example_incremental_deployment [num_pages]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/strategies.h"
+#include "harness/experiment.h"
+#include "harness/stats.h"
+#include "web/corpus.h"
+
+int main(int argc, char** argv) {
+  using namespace vroom;
+  const int pages = argc > 1 ? std::atoi(argv[1]) : 20;
+
+  web::Corpus corpus("news+sports", 42);
+  corpus.add_pages(web::PageClass::News, pages / 2);
+  corpus.add_pages(web::PageClass::Sports, pages - pages / 2, 100);
+
+  harness::RunOptions opt;
+  opt.loads_per_page = 1;
+
+  std::printf("Comparing deployment levels across %d News/Sports pages…\n\n",
+              pages);
+  const baselines::Strategy levels[] = {
+      baselines::http2_baseline(),
+      baselines::vroom_first_party_only(),
+      baselines::vroom(),
+  };
+  std::printf("%-28s %10s %10s %10s\n", "deployment", "p25(s)", "median(s)",
+              "p75(s)");
+  for (const auto& s : levels) {
+    auto res = harness::run_corpus(corpus, s, opt);
+    const auto q = harness::quartiles(res.plt_seconds());
+    std::printf("%-28s %10.2f %10.2f %10.2f\n", s.name.c_str(), q.p25, q.p50,
+                q.p75);
+  }
+  std::printf(
+      "\nTakeaway: the first party alone captures most of Vroom's benefit —\n"
+      "it serves the root HTML, so its hints cover third-party resources\n"
+      "even when those third parties never change a line of code.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Repeat-visit scenario (Figure 20): a user returns to the same page after
+// a minute, a day, and a week. Shows cache interaction with Vroom's pushes
+// (already-cached resources are never pushed) and with content rotation.
+//
+//   $ ./example_warm_cache_repeat_visits
+#include <cstdio>
+
+#include "baselines/strategies.h"
+#include "browser/cache.h"
+#include "harness/experiment.h"
+#include "web/page_generator.h"
+
+int main() {
+  using namespace vroom;
+  const web::PageModel page = web::generate_page(42, 11, web::PageClass::News);
+
+  const struct {
+    const char* label;
+    sim::Time gap;
+  } gaps[] = {{"back-to-back", sim::minutes(1)},
+              {"one day later", sim::days(1)},
+              {"one week later", sim::days(7)}};
+
+  for (const auto& strategy :
+       {baselines::vroom(), baselines::http2_baseline()}) {
+    std::printf("\n=== %s ===\n", strategy.name.c_str());
+    for (const auto& g : gaps) {
+      browser::Cache cache;
+      harness::RunOptions opt;
+      opt.cache = &cache;
+      const auto cold = harness::run_page_load(page, strategy, opt, 1);
+      opt.when += g.gap;
+      const auto warm = harness::run_page_load(page, strategy, opt, 2);
+      std::printf(
+          "%-15s cold %.2fs -> warm %.2fs  (%3d cache hits, %4.0f KB vs "
+          "%4.0f KB over the air)\n",
+          g.label, sim::to_seconds(cold.plt), sim::to_seconds(warm.plt),
+          warm.cache_hits, warm.bytes_fetched / 1e3, cold.bytes_fetched / 1e3);
+    }
+  }
+  std::printf(
+      "\nLonger gaps rotate more content out of the cache, so warm-load\n"
+      "times drift back toward cold-load times — but Vroom keeps its edge\n"
+      "because hints cover exactly the resources that did change.\n");
+  return 0;
+}

@@ -1,0 +1,4 @@
+#include "baselines/lower_bound.h"
+
+// Header-only sample struct; the strategies that produce the two bounds live
+// in strategies.cpp and the combination in harness/experiment.cpp.

@@ -1,0 +1,19 @@
+// The Figure 2 achievable lower bound: for each page, the larger of the
+// network-bound and CPU-bound load times — the best a page-load redesign can
+// do without rewriting the page, if it fully utilizes at least one of the
+// client's two resources.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.h"
+
+namespace vroom::baselines {
+
+struct LowerBoundSample {
+  sim::Time network_bound = 0;
+  sim::Time cpu_bound = 0;
+  sim::Time bound() const { return std::max(network_bound, cpu_bound); }
+};
+
+}  // namespace vroom::baselines

@@ -1,0 +1,52 @@
+#include "baselines/polaris.h"
+
+#include <algorithm>
+
+#include "web/url.h"
+
+namespace vroom::baselines {
+
+int PolarisScheduler::priority_of(browser::Browser& b, const std::string& url,
+                                  bool processable) const {
+  const web::PageModel& model = b.instance().model();
+  int prio = processable ? 50 : 0;
+  if (auto id = b.instance().find_by_url(url)) {
+    // Longer remaining dependency chains first — Polaris's key heuristic.
+    prio += model.chain_depth(*id) * 100;
+    if (*id == 0) prio += 10000;  // the navigation itself
+    if (model.resource(*id).type == web::ResourceType::Html) prio += 500;
+  }
+  return prio;
+}
+
+void PolarisScheduler::on_discovered(browser::Browser& b,
+                                     const std::string& url,
+                                     bool processable) {
+  if (issued_.count(url) > 0 || b.url_complete(url) || b.url_outstanding(url)) {
+    return;
+  }
+  const int prio = priority_of(b, url, processable);
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [&](const Pending& p) { return p.priority < prio; });
+  queue_.insert(it, Pending{url, prio});
+  pump(b);
+}
+
+void PolarisScheduler::on_fetch_complete(browser::Browser& b,
+                                         const std::string& url) {
+  if (issued_.erase(url) > 0) --outstanding_;
+  pump(b);
+}
+
+void PolarisScheduler::pump(browser::Browser& b) {
+  while (outstanding_ < max_concurrent_ && !queue_.empty()) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    if (b.url_complete(p.url) || b.url_outstanding(p.url)) continue;
+    issued_.insert(p.url);
+    ++outstanding_;
+    b.fetch_url(p.url, p.priority, browser::FetchReason::Parser);
+  }
+}
+
+}  // namespace vroom::baselines

@@ -1,0 +1,45 @@
+// Polaris-style client-side request prioritization (Netravali et al.,
+// NSDI'16), as characterized in §2 and §6.1 of the Vroom paper.
+//
+// The client holds a previously computed fine-grained dependency graph of
+// the page. It still discovers each resource by fetching and evaluating its
+// ancestors (no server aid), but instead of requesting resources in
+// discovery order it schedules requests through a bounded-parallelism
+// priority queue, favouring resources that head long dependency chains and
+// must be processed — reducing access-link contention on the critical path.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+#include "browser/browser.h"
+
+namespace vroom::baselines {
+
+class PolarisScheduler : public browser::FetchPolicy {
+ public:
+  explicit PolarisScheduler(int max_concurrent = 10)
+      : max_concurrent_(max_concurrent) {}
+
+  void on_discovered(browser::Browser& b, const std::string& url,
+                     bool processable) override;
+  void on_fetch_complete(browser::Browser& b, const std::string& url) override;
+
+ private:
+  struct Pending {
+    std::string url;
+    int priority;
+  };
+
+  int priority_of(browser::Browser& b, const std::string& url,
+                  bool processable) const;
+  void pump(browser::Browser& b);
+
+  int max_concurrent_;
+  int outstanding_ = 0;
+  std::deque<Pending> queue_;
+  std::unordered_set<std::string> issued_;
+};
+
+}  // namespace vroom::baselines

@@ -1,0 +1,149 @@
+#include "baselines/strategies.h"
+
+#include "baselines/polaris.h"
+#include "baselines/vroom_polaris.h"
+#include "core/client_scheduler.h"
+
+namespace vroom::baselines {
+
+std::unique_ptr<browser::FetchPolicy> make_policy(const Strategy& s) {
+  switch (s.sched) {
+    case Strategy::Sched::Default:
+      return nullptr;  // Browser installs its status-quo policy
+    case Strategy::Sched::VroomStaged:
+      return std::make_unique<core::VroomClientScheduler>(/*staged=*/true);
+    case Strategy::Sched::FetchAsap:
+      return std::make_unique<core::VroomClientScheduler>(/*staged=*/false);
+    case Strategy::Sched::Polaris:
+      return std::make_unique<PolarisScheduler>();
+    case Strategy::Sched::VroomPolaris:
+      return std::make_unique<VroomPolarisScheduler>();
+  }
+  return nullptr;
+}
+
+Strategy http11() {
+  Strategy s;
+  s.name = "HTTP/1.1";
+  s.protocol = http::Protocol::Http1;
+  return s;
+}
+
+Strategy http2_baseline() {
+  Strategy s;
+  s.name = "HTTP/2 Baseline";
+  return s;
+}
+
+Strategy push_all_static() {
+  Strategy s;
+  s.name = "Push All Static";
+  s.server_aid = true;
+  s.ordered_writer = true;
+  s.first_party_only = true;
+  s.provider.mode = core::ResolutionMode::OfflineOnly;  // stable statics
+  s.provider.hints_enabled = false;
+  s.provider.push = core::PushSelection::AllLocal;
+  return s;
+}
+
+Strategy vroom() {
+  Strategy s;
+  s.name = "Vroom";
+  s.server_aid = true;
+  s.ordered_writer = true;
+  s.provider.mode = core::ResolutionMode::OfflinePlusOnline;
+  s.provider.hints_enabled = true;
+  s.provider.push = core::PushSelection::HighPriorityLocal;
+  s.sched = Strategy::Sched::VroomStaged;
+  return s;
+}
+
+Strategy vroom_first_party_only() {
+  Strategy s = vroom();
+  s.name = "Vroom (first party only)";
+  s.first_party_only = true;
+  return s;
+}
+
+Strategy vroom_prev_load_deps() {
+  Strategy s = vroom();
+  s.name = "Deps from Previous Load";
+  s.provider.mode = core::ResolutionMode::PreviousLoad;
+  return s;
+}
+
+Strategy vroom_offline_only() {
+  Strategy s = vroom();
+  s.name = "Offline Only";
+  s.provider.mode = core::ResolutionMode::OfflineOnly;
+  return s;
+}
+
+Strategy vroom_online_only() {
+  Strategy s = vroom();
+  s.name = "Online Only";
+  s.provider.mode = core::ResolutionMode::OnlineOnly;
+  return s;
+}
+
+Strategy push_high_prio_no_hints() {
+  Strategy s;
+  s.name = "Push High Priority, No Hints";
+  s.server_aid = true;
+  s.ordered_writer = true;
+  s.provider.mode = core::ResolutionMode::OfflinePlusOnline;
+  s.provider.hints_enabled = false;
+  s.provider.push = core::PushSelection::HighPriorityLocal;
+  return s;
+}
+
+Strategy push_all_no_hints() {
+  Strategy s = push_high_prio_no_hints();
+  s.name = "Push All, No Hints";
+  s.provider.push = core::PushSelection::AllLocal;
+  return s;
+}
+
+Strategy push_all_fetch_asap() {
+  Strategy s;
+  s.name = "Push All, Fetch ASAP";
+  s.server_aid = true;
+  s.ordered_writer = true;
+  s.provider.mode = core::ResolutionMode::OfflinePlusOnline;
+  s.provider.hints_enabled = true;
+  s.provider.push = core::PushSelection::AllLocal;
+  s.sched = Strategy::Sched::FetchAsap;
+  return s;
+}
+
+Strategy polaris() {
+  Strategy s;
+  s.name = "Polaris";
+  s.sched = Strategy::Sched::Polaris;
+  return s;
+}
+
+Strategy vroom_plus_polaris() {
+  Strategy s = vroom();
+  s.name = "Vroom + Polaris";
+  s.sched = Strategy::Sched::VroomPolaris;
+  return s;
+}
+
+Strategy lower_bound_network() {
+  Strategy s;
+  s.name = "Network Bottleneck";
+  s.know_all_upfront = true;
+  s.zero_cpu = true;
+  return s;
+}
+
+Strategy lower_bound_cpu() {
+  Strategy s;
+  s.name = "CPU Bottleneck";
+  s.local_network = true;
+  return s;
+}
+
+}  // namespace vroom::baselines

@@ -1,0 +1,55 @@
+#include "baselines/vroom_polaris.h"
+
+#include <algorithm>
+
+#include "web/url.h"
+
+namespace vroom::baselines {
+
+void VroomPolarisScheduler::on_discovered(browser::Browser& b,
+                                          const std::string& url,
+                                          bool processable) {
+  // Resources already covered by hints (or pushes) are in flight; the
+  // chain-priority queue is only for what the client discovers itself.
+  if (b.url_complete(url) || b.url_outstanding(url) ||
+      issued_.count(url) > 0) {
+    // Still let the base class account for pending documents.
+    core::VroomClientScheduler::on_discovered(b, url, processable);
+    return;
+  }
+  // Documents and render-blocking resources bypass the queue: the engine
+  // cannot make progress without them.
+  int prio = processable ? 50 : 0;
+  if (auto id = b.instance().find_by_url(url)) {
+    prio += b.instance().model().chain_depth(*id) * 100;
+    if (b.instance().model().resource(*id).type == web::ResourceType::Html ||
+        b.instance().model().resource(*id).blocks_parser) {
+      core::VroomClientScheduler::on_discovered(b, url, processable);
+      return;
+    }
+  }
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [&](const Pending& p) { return p.priority < prio; });
+  queue_.insert(it, Pending{url, prio, processable});
+  pump(b);
+}
+
+void VroomPolarisScheduler::on_fetch_complete(browser::Browser& b,
+                                              const std::string& url) {
+  if (issued_.erase(url) > 0) --outstanding_;
+  core::VroomClientScheduler::on_fetch_complete(b, url);
+  pump(b);
+}
+
+void VroomPolarisScheduler::pump(browser::Browser& b) {
+  while (outstanding_ < max_concurrent_ && !queue_.empty()) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    if (b.url_complete(p.url) || b.url_outstanding(p.url)) continue;
+    issued_.insert(p.url);
+    ++outstanding_;
+    b.fetch_url(p.url, p.priority, browser::FetchReason::Parser);
+  }
+}
+
+}  // namespace vroom::baselines

@@ -1,0 +1,44 @@
+// Vroom + Polaris combination (§6.1: "combining the complementary
+// approaches used in VROOM and Polaris is a promising direction").
+//
+// Server aid stays exactly Vroom's (push + staged dependency hints). The
+// client additionally applies Polaris-style prioritization to the resources
+// it must still discover on its own — the unpredictable tail that Vroom
+// defers to the client: engine discoveries go through a bounded-parallelism
+// queue favouring long dependency chains, so the unhinted remainder cannot
+// crowd the link at the moment hinted high-priority resources arrive.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+#include "core/client_scheduler.h"
+
+namespace vroom::baselines {
+
+class VroomPolarisScheduler final : public core::VroomClientScheduler {
+ public:
+  explicit VroomPolarisScheduler(int max_concurrent_discoveries = 8)
+      : max_concurrent_(max_concurrent_discoveries) {}
+
+  void on_discovered(browser::Browser& b, const std::string& url,
+                     bool processable) override;
+  void on_fetch_complete(browser::Browser& b, const std::string& url) override;
+
+ private:
+  struct Pending {
+    std::string url;
+    int priority;
+    bool processable;
+  };
+
+  void pump(browser::Browser& b);
+
+  int max_concurrent_;
+  int outstanding_ = 0;
+  std::deque<Pending> queue_;
+  std::unordered_set<std::string> issued_;
+};
+
+}  // namespace vroom::baselines

@@ -1,0 +1,192 @@
+// Browser engine model: the page-load state machine.
+//
+// Reproduces the dependency structure of Figure 5: the client fetches the
+// root HTML, parses it on a single-threaded CPU, discovers children at
+// their document positions, blocks the parser on synchronous scripts,
+// executes scripts to reveal JS-generated resources, and fires onload when
+// every referenced resource is fetched and processed. Fetch *policy* —
+// when discovered/hinted resources are actually requested — is pluggable,
+// which is where the status quo, Polaris, and Vroom's staged client
+// scheduler differ.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "browser/cache.h"
+#include "browser/cpu_model.h"
+#include "browser/critical_path.h"
+#include "browser/metrics.h"
+#include "browser/task_queue.h"
+#include "http/connection_pool.h"
+#include "web/page_instance.h"
+
+namespace vroom::browser {
+
+class Browser;
+
+enum class FetchReason : std::uint8_t {
+  Document,     // the navigation itself
+  Parser,       // discovered while parsing/executing
+  Hint,         // dependency-hint preload
+  Speculative,  // client-side predicted (Polaris-style)
+};
+
+// Pluggable client-side fetch scheduling.
+class FetchPolicy {
+ public:
+  virtual ~FetchPolicy() = default;
+  virtual void on_load_start(Browser&) {}
+  // The engine needs `url` (parser/exec discovery). The default requests it
+  // immediately — today's browser behaviour.
+  virtual void on_discovered(Browser& b, const std::string& url,
+                             bool processable);
+  // Dependency hints arrived in a response's headers.
+  virtual void on_hints(Browser&, const http::HintSet&) {}
+  // Any fetch finished (used by staged schedulers to advance stages). Runs
+  // as a main-thread task, so a busy CPU delays it (§5.2).
+  virtual void on_fetch_complete(Browser&, const std::string& /*url*/) {}
+};
+
+struct LoadConfig {
+  CpuCosts cpu = CpuCosts::nexus6();
+  // Network-bottleneck lower bound: all URLs known and fetched at t=0, no
+  // evaluation (Figure 2's modified-HTML experiment).
+  bool know_all_upfront = false;
+  Cache* cache = nullptr;         // optional persistent cache (warm loads)
+  FetchPolicy* policy = nullptr;  // nullptr => status-quo policy
+};
+
+class Browser {
+ public:
+  Browser(net::Network& net, http::ConnectionPool& pool,
+          const web::PageInstance& instance, LoadConfig config);
+
+  // Begins the navigation. Drive the event loop to completion afterwards.
+  void start();
+
+  bool finished() const { return result_.finished; }
+  const LoadResult& result() const { return result_; }
+
+  // ---- API for policies and push wiring ----
+
+  sim::EventLoop& loop() { return net_.loop(); }
+  const web::PageInstance& instance() const { return *instance_; }
+  TaskQueue& tasks() { return tasks_; }
+
+  // Issues a network fetch; dedups against in-flight, completed, pushed and
+  // cached copies. Safe to call with URLs foreign to the current instance
+  // (stale hints become "ghost" fetches counted as wasted bytes).
+  void fetch_url(const std::string& url, int priority, FetchReason reason);
+
+  bool url_complete(const std::string& url) const;
+  bool url_outstanding(const std::string& url) const;
+
+  // Records that the client learned `url` from a dependency hint even if it
+  // has not been requested yet (discovery-latency accounting, Figure 16).
+  void note_hinted(const std::string& url);
+  int outstanding_fetches() const { return outstanding_; }
+
+  // True if `url` is a processable type (HTML/CSS/JS) per its extension.
+  static bool url_processable(const std::string& url);
+
+  // Push events (wired from the connection pool's PushObserver).
+  void on_push_promise(const std::string& url, std::int64_t bytes);
+  void on_push_complete(const std::string& url, std::int64_t bytes);
+
+ private:
+  enum class FetchStateKind : std::uint8_t { Idle, InFlight, Complete };
+
+  struct FetchState {
+    FetchStateKind state = FetchStateKind::Idle;
+    std::optional<std::uint32_t> template_id;
+    bool referenced = false;
+    bool gates_onload = false;
+    bool hinted = false;
+    bool pushed = false;
+    bool from_cache = false;
+    bool processing_scheduled = false;
+    bool processed = false;
+    std::int64_t bytes = 0;
+    sim::Time discovered = sim::kNever;
+    sim::Time requested = sim::kNever;
+    sim::Time complete_t = sim::kNever;
+    sim::Time processed_t = sim::kNever;
+    std::vector<std::function<void()>> on_complete_waiters;
+  };
+
+  struct DocState {
+    std::uint32_t doc_id = 0;
+    std::vector<std::uint32_t> children;  // HtmlTag children by offset
+    std::size_t next = 0;
+    double pos = 0.0;
+    sim::Time parse_total = 0;
+    bool started = false;
+    bool done = false;
+  };
+
+  FetchState& state_for(const std::string& url);
+  const FetchState* find_state(const std::string& url) const;
+
+  void handle_headers(const http::ResponseMeta& meta);
+  void handle_complete(const http::ResponseMeta& meta);
+  void finish_fetch(const std::string& url, std::int64_t bytes,
+                    bool from_cache, bool not_modified);
+
+  // Marks `url` as needed by the page (parser/exec discovery path).
+  void reference(std::uint32_t template_id);
+  void maybe_process(const std::string& url);
+  void schedule_processing(const std::string& url, std::uint32_t template_id);
+  void after_processed(const std::string& url, std::uint32_t template_id);
+
+  // CSSOM dependency: script execution waits until every discovered
+  // render-blocking stylesheet of the main document has been fetched and
+  // parsed. Returns true if `resume` was queued (caller must not proceed).
+  bool blocked_on_css(std::function<void()> resume);
+
+  void start_document(std::uint32_t doc_id);
+  void advance_parser(std::uint32_t doc_id);
+  void on_doc_done(std::uint32_t doc_id);
+  void exec_sync_script(std::uint32_t doc_id, std::uint32_t script_id);
+
+  void discover_children_via(std::uint32_t parent,
+                             web::DiscoveryVia via);
+  void record_paint(double weight);
+  void maybe_finish();
+  void finalize_result();
+
+  sim::Time abs_now() const {
+    return instance_->identity().wall_time + net_.loop().now();
+  }
+
+  net::Network& net_;
+  http::ConnectionPool& pool_;
+  const web::PageInstance* instance_;
+  LoadConfig config_;
+  TaskQueue tasks_;
+  NetWaitTracker net_wait_;
+  std::unique_ptr<FetchPolicy> default_policy_;
+  FetchPolicy* policy_;
+
+  std::unordered_map<std::string, FetchState> fetches_;
+  std::unordered_map<std::uint32_t, DocState> docs_;
+  int docs_pending_ = 0;
+  int referenced_incomplete_ = 0;
+  int outstanding_ = 0;
+  int css_blocking_ = 0;  // render-blocking stylesheets not yet parsed
+  std::vector<std::function<void()>> css_waiters_;
+  bool root_done_ = false;
+  bool started_ = false;
+
+  std::vector<std::pair<sim::Time, double>> paints_;
+  sim::Time aft_ = 0;
+
+  LoadResult result_;
+};
+
+}  // namespace vroom::browser

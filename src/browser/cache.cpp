@@ -1,0 +1,26 @@
+#include "browser/cache.h"
+
+namespace vroom::browser {
+
+void Cache::insert(const std::string& url, std::int64_t size,
+                   sim::Time now_abs, sim::Time max_age) {
+  if (max_age <= 0) return;  // uncacheable
+  entries_[url] = Entry{size, now_abs, max_age};
+}
+
+bool Cache::fresh(const std::string& url, sim::Time now_abs) const {
+  auto it = entries_.find(url);
+  if (it == entries_.end()) return false;
+  return now_abs - it->second.stored_at <= it->second.max_age;
+}
+
+bool Cache::has(const std::string& url) const {
+  return entries_.count(url) > 0;
+}
+
+const Cache::Entry* Cache::find(const std::string& url) const {
+  auto it = entries_.find(url);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace vroom::browser

@@ -1,0 +1,41 @@
+// Browser HTTP cache with freshness lifetimes.
+//
+// Lives *across* page loads (warm-cache study, Figure 20): entries are
+// stamped with absolute wall-clock time, while each load's event loop runs
+// in its own relative time — callers pass absolute instants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "sim/time.h"
+
+namespace vroom::browser {
+
+class Cache {
+ public:
+  struct Entry {
+    std::int64_t size = 0;
+    sim::Time stored_at = 0;  // absolute wall time
+    sim::Time max_age = 0;
+  };
+
+  void insert(const std::string& url, std::int64_t size, sim::Time now_abs,
+              sim::Time max_age);
+
+  // Entry exists and is within its freshness lifetime: usable without any
+  // network traffic.
+  bool fresh(const std::string& url, sim::Time now_abs) const;
+  // Entry exists but may be stale: usable after a conditional revalidation.
+  bool has(const std::string& url) const;
+
+  const Entry* find(const std::string& url) const;
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace vroom::browser

@@ -1,0 +1,41 @@
+#include "browser/critical_path.h"
+
+namespace vroom::browser {
+
+void NetWaitTracker::set_cpu_busy(bool busy) {
+  cpu_busy_ = busy;
+  update_state();
+}
+
+void NetWaitTracker::fetch_started() {
+  ++outstanding_;
+  update_state();
+}
+
+void NetWaitTracker::fetch_finished() {
+  --outstanding_;
+  update_state();
+}
+
+void NetWaitTracker::stop() {
+  update_state();
+  stopped_ = true;
+  if (waiting_) {
+    net_wait_ += loop_.now() - wait_started_;
+    waiting_ = false;
+  }
+}
+
+void NetWaitTracker::update_state() {
+  if (stopped_) return;
+  const bool should_wait = !cpu_busy_ && outstanding_ > 0;
+  if (should_wait && !waiting_) {
+    waiting_ = true;
+    wait_started_ = loop_.now();
+  } else if (!should_wait && waiting_) {
+    waiting_ = false;
+    net_wait_ += loop_.now() - wait_started_;
+  }
+}
+
+}  // namespace vroom::browser

@@ -1,0 +1,35 @@
+// Network-wait tracking for the critical-path analysis of Figure 4.
+//
+// While the page load is incomplete, any interval in which the main thread
+// is idle but at least one fetch is outstanding is time the critical path
+// spends waiting on the network — the under-utilization Vroom removes.
+#pragma once
+
+#include "sim/event_loop.h"
+
+namespace vroom::browser {
+
+class NetWaitTracker {
+ public:
+  explicit NetWaitTracker(sim::EventLoop& loop) : loop_(loop) {}
+
+  void set_cpu_busy(bool busy);
+  void fetch_started();
+  void fetch_finished();
+  void stop();  // onload: freeze accumulators
+
+  sim::Time net_wait() const { return net_wait_; }
+
+ private:
+  void update_state();
+
+  sim::EventLoop& loop_;
+  bool cpu_busy_ = false;
+  int outstanding_ = 0;
+  bool stopped_ = false;
+  bool waiting_ = false;
+  sim::Time wait_started_ = 0;
+  sim::Time net_wait_ = 0;
+};
+
+}  // namespace vroom::browser

@@ -1,0 +1,40 @@
+#include "browser/task_queue.h"
+
+#include <algorithm>
+
+namespace vroom::browser {
+
+void TaskQueue::post(sim::Time duration, TaskPriority priority,
+                     std::function<void()> body) {
+  queue_.push_back(Task{duration, static_cast<int>(priority), next_seq_++,
+                        std::move(body)});
+  if (!running_) start_next();
+}
+
+void TaskQueue::start_next() {
+  if (queue_.empty()) {
+    if (running_) {
+      running_ = false;
+      if (observer_) observer_(false);
+    }
+    return;
+  }
+  // Highest priority first; FIFO within a priority.
+  auto best = queue_.begin();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->priority > best->priority) best = it;
+  }
+  Task task = std::move(*best);
+  queue_.erase(best);
+  if (!running_) {
+    running_ = true;
+    if (observer_) observer_(true);
+  }
+  total_busy_ += task.duration;
+  loop_.schedule_in(task.duration, [this, body = std::move(task.body)] {
+    body();  // may post more tasks
+    start_next();
+  });
+}
+
+}  // namespace vroom::browser

@@ -1,0 +1,61 @@
+// Single-threaded main-thread task executor.
+//
+// Non-preemptive: once a task starts, later arrivals wait regardless of
+// priority — which is exactly why Vroom's JavaScript request scheduler can
+// be delayed by a long-running script (§5.2), an effect the client-side
+// scheduler experiments depend on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/event_loop.h"
+
+namespace vroom::browser {
+
+enum class TaskPriority : int {
+  ImageDecode = 0,
+  AsyncScript = 1,
+  Parse = 2,       // HTML/CSS parsing and synchronous script execution
+  Scheduler = 3,   // tiny request-scheduler callbacks
+};
+
+class TaskQueue {
+ public:
+  explicit TaskQueue(sim::EventLoop& loop) : loop_(loop) {}
+
+  // Enqueues a task occupying the CPU for `duration`; `body` runs at task
+  // completion.
+  void post(sim::Time duration, TaskPriority priority,
+            std::function<void()> body);
+
+  bool busy() const { return running_; }
+  bool idle() const { return !running_ && queue_.empty(); }
+  sim::Time total_busy() const { return total_busy_; }
+
+  // Observer invoked whenever the CPU transitions busy <-> idle (used by the
+  // critical-path tracker).
+  void set_state_observer(std::function<void(bool busy)> obs) {
+    observer_ = std::move(obs);
+  }
+
+ private:
+  struct Task {
+    sim::Time duration;
+    int priority;
+    std::uint64_t seq;
+    std::function<void()> body;
+  };
+
+  void start_next();
+
+  sim::EventLoop& loop_;
+  std::deque<Task> queue_;
+  bool running_ = false;
+  std::uint64_t next_seq_ = 0;
+  sim::Time total_busy_ = 0;
+  std::function<void(bool)> observer_;
+};
+
+}  // namespace vroom::browser

@@ -1,0 +1,43 @@
+// Accuracy of server-side dependency resolution (§6.2, Figure 21).
+//
+// Following the paper's methodology: a page is loaded twice back-to-back;
+// the *predictable* subset is the URLs common to both loads, restricted to
+// resources derived from the root HTML excluding everything below embedded
+// iframes. Each resolution strategy's advice for the root request is scored
+// as false negatives (predictable URLs it fails to identify) and false
+// positives (advised URLs outside the predictable subset), both as
+// fractions of the predictable subset's size.
+#pragma once
+
+#include <cstdint>
+
+#include "core/vroom_provider.h"
+#include "web/device.h"
+#include "web/page_model.h"
+
+namespace vroom::core {
+
+struct AccuracySample {
+  // Figure 21(a): the predictable subset's share of the advice scope.
+  double predictable_count_frac = 0;
+  double predictable_bytes_frac = 0;
+  // Figure 21(b): missed predictable resources / |predictable|.
+  double false_negative_frac = 0;
+  // Figure 21(c): extraneous advised resources / |predictable|.
+  double false_positive_frac = 0;
+  int scope_size = 0;
+  int predictable_size = 0;
+  int advised_size = 0;
+};
+
+AccuracySample measure_accuracy(const web::PageModel& model, sim::Time when,
+                                const web::DeviceProfile& device,
+                                std::uint32_t user, ResolutionMode mode,
+                                const OfflineConfig& offline_config);
+
+// Fraction of one instance's URLs still present `gap` later (Figure 7).
+double persistence_fraction(const web::PageModel& model, sim::Time when,
+                            const web::DeviceProfile& device,
+                            std::uint32_t user, sim::Time gap);
+
+}  // namespace vroom::core

@@ -1,0 +1,99 @@
+#include "core/client_scheduler.h"
+
+#include "web/url.h"
+
+namespace vroom::core {
+namespace {
+
+bool is_html_url(const std::string& url) {
+  auto parsed = web::parse_url(url);
+  return parsed && web::type_from_ext(parsed->ext) == web::ResourceType::Html;
+}
+
+}  // namespace
+
+void VroomClientScheduler::on_discovered(browser::Browser& b,
+                                         const std::string& url,
+                                         bool processable) {
+  // Engine-discovered resources always go out right away (the browser's
+  // native fetch path); hint-scheduled copies dedup against them.
+  if (is_html_url(url) && !b.url_complete(url) &&
+      counted_docs_.insert(url).second) {
+    ++pending_docs_;
+  }
+  FetchPolicy::on_discovered(b, url, processable);
+}
+
+void VroomClientScheduler::on_hints(browser::Browser& b,
+                                    const http::HintSet& hints) {
+  for (const http::Hint& h : hints.hints) {
+    b.note_hinted(h.url);
+    if (!seen_.insert(h.url).second) continue;
+    enqueue_hint(b, h);
+  }
+  try_advance(b);
+}
+
+void VroomClientScheduler::enqueue_hint(browser::Browser& b,
+                                        const http::Hint& hint) {
+  if (!staged_) {
+    b.fetch_url(hint.url, 0, browser::FetchReason::Hint);
+    return;
+  }
+  switch (hint.priority) {
+    case http::HintPriority::Preload:
+      preload_urls_.push_back(hint.url);
+      b.fetch_url(hint.url, 2, browser::FetchReason::Hint);
+      break;
+    case http::HintPriority::SemiImportant:
+      if (stage_ >= 1) {
+        b.fetch_url(hint.url, 1, browser::FetchReason::Hint);
+      } else {
+        semi_q_.push_back(hint.url);
+      }
+      break;
+    case http::HintPriority::Unimportant:
+      if (stage_ >= 2) {
+        b.fetch_url(hint.url, 0, browser::FetchReason::Hint);
+      } else {
+        low_q_.push_back(hint.url);
+      }
+      break;
+  }
+}
+
+void VroomClientScheduler::on_fetch_complete(browser::Browser& b,
+                                             const std::string& url) {
+  if (counted_docs_.erase(url) > 0) --pending_docs_;
+  try_advance(b);
+}
+
+bool VroomClientScheduler::all_complete(
+    browser::Browser& b, const std::vector<std::string>& urls) const {
+  for (const auto& u : urls) {
+    if (!b.url_complete(u)) return false;
+  }
+  return true;
+}
+
+void VroomClientScheduler::try_advance(browser::Browser& b) {
+  if (!staged_) return;
+  if (stage_ == 0) {
+    // "Once resource discovery from servers is complete and all high
+    // priority resources learned via hints have been received…"
+    if (pending_docs_ > 0 || !all_complete(b, preload_urls_)) return;
+    stage_ = 1;
+    for (const auto& u : semi_q_) {
+      b.fetch_url(u, 1, browser::FetchReason::Hint);
+    }
+  }
+  if (stage_ == 1) {
+    if (!all_complete(b, semi_q_)) return;
+    stage_ = 2;
+    for (const auto& u : low_q_) {
+      b.fetch_url(u, 0, browser::FetchReason::Hint);
+    }
+  }
+}
+
+}  // namespace vroom::core

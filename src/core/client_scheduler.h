@@ -1,0 +1,50 @@
+// VROOM's client-side request scheduler (§5.2).
+//
+// Mirrors the JavaScript scheduler injected into pages: it watches hint
+// headers on HTML responses and issues staged downloads — `Link preload`
+// resources immediately and in listed order, `x-semi-important` once every
+// known high-priority resource has been received and no document response
+// is still pending, `x-unimportant` after that. Because the callbacks run
+// as main-thread tasks, a long script execution delays stage transitions,
+// exactly as the paper notes for its JS implementation.
+//
+// The unstaged variant ("Push All, Fetch ASAP", §4.3) requests every hinted
+// URL the moment it is seen.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "browser/browser.h"
+
+namespace vroom::core {
+
+class VroomClientScheduler : public browser::FetchPolicy {
+ public:
+  explicit VroomClientScheduler(bool staged = true) : staged_(staged) {}
+
+  void on_discovered(browser::Browser& b, const std::string& url,
+                     bool processable) override;
+  void on_hints(browser::Browser& b, const http::HintSet& hints) override;
+  void on_fetch_complete(browser::Browser& b, const std::string& url) override;
+
+  int stage() const { return stage_; }
+
+ private:
+  void enqueue_hint(browser::Browser& b, const http::Hint& hint);
+  void try_advance(browser::Browser& b);
+  bool all_complete(browser::Browser& b,
+                    const std::vector<std::string>& urls) const;
+
+  bool staged_;
+  int stage_ = 0;  // 0: preload, 1: semi-important, 2: unimportant
+  int pending_docs_ = 0;
+  std::unordered_set<std::string> counted_docs_;
+  std::unordered_set<std::string> seen_;
+  std::vector<std::string> preload_urls_;
+  std::vector<std::string> semi_q_;
+  std::vector<std::string> low_q_;
+};
+
+}  // namespace vroom::core

@@ -1,0 +1,50 @@
+// Priority classification and ordering of dependency hints (Table 1, §4.3).
+//
+// Resources that must be parsed or executed go in `Link preload`; lazily
+// processed ones (async scripts) in `x-semi-important`; everything that is
+// never evaluated — plus embedded HTML documents and anything below them
+// (footnote 4) — in `x-unimportant`. Within each header URLs keep the order
+// the client will process them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "http/headers.h"
+#include "http/message.h"
+#include "web/page_instance.h"
+#include "web/page_model.h"
+
+namespace vroom::core {
+
+http::HintPriority classify_hint(const web::Resource& r);
+
+enum class PushSelection : std::uint8_t {
+  None,
+  HighPriorityLocal,  // Vroom: only Link-preload-class, same-domain content
+  AllLocal,           // strawman: everything local
+};
+
+struct AdviceBuild {
+  http::HintSet hints;
+  std::vector<http::PushItem> pushes;
+};
+
+// Assembles hints + pushes from an ordered candidate list.
+// `ordered_candidates` must already be in processing order (template id,
+// URL). Push bodies are sized via the current instance when the URL is
+// live, else via the store's stale-version realization.
+AdviceBuild build_advice(const web::PageInstance& instance,
+                         const std::vector<std::pair<std::uint32_t,
+                                                     std::string>>& ordered,
+                         const std::string& serving_domain, bool hints_enabled,
+                         PushSelection push);
+
+// Truncates a hint set to at most `max_hints` entries, dropping the lowest
+// priority class first and the latest processing positions within a class
+// (header-budget control; 0 = unlimited, no-op).
+void truncate_hints(http::HintSet& hints, int max_hints);
+
+}  // namespace vroom::core

@@ -1,0 +1,127 @@
+#include "core/offline_resolver.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/random.h"
+
+namespace vroom::core {
+
+bool org_knows_user(const web::PageModel& model,
+                    const std::string& serving_domain,
+                    const std::string& resource_domain) {
+  if (serving_domain == resource_domain) return true;
+  return model.is_first_party_org(serving_domain) &&
+         model.is_first_party_org(resource_domain);
+}
+
+OfflineResolver::OfflineResolver(const web::PageModel& model,
+                                 OfflineConfig config)
+    : model_(&model), config_(std::move(config)) {}
+
+std::map<std::uint32_t, std::string> OfflineResolver::single_load_urls(
+    sim::Time when, const web::DeviceProfile& device,
+    const std::string& serving_domain, std::uint32_t user,
+    std::uint64_t nonce) const {
+  std::map<std::uint32_t, std::string> out;
+  for (const web::Resource& r : model_->resources()) {
+    web::LoadIdentity id;
+    id.wall_time = when;
+    id.device = device;
+    id.nonce = nonce;
+    // The crawler carries the client's cookie only for domains the serving
+    // organization controls; everything else loads as a generic user.
+    id.user = org_knows_user(*model_, serving_domain, r.domain) ? user : 0;
+    out.emplace(r.id, web::realize_url(*model_, r, id));
+  }
+  return out;
+}
+
+std::map<std::uint32_t, std::string> OfflineResolver::crawl_intersection(
+    sim::Time now, const web::DeviceProfile& crawl_dev,
+    const std::string& serving_domain, std::uint32_t user) const {
+  std::map<std::uint32_t, std::string> stable;
+  for (int i = 1; i <= config_.loads; ++i) {
+    const sim::Time when = now - static_cast<sim::Time>(i) * config_.spacing;
+    const std::uint64_t nonce =
+        sim::derive_seed(static_cast<std::uint64_t>(when) ^ model_->page_id(),
+                         "offline-crawl");
+    auto load = single_load_urls(when, crawl_dev, serving_domain, user, nonce);
+    if (i == 1) {
+      stable = std::move(load);
+      continue;
+    }
+    for (auto it = stable.begin(); it != stable.end();) {
+      auto found = load.find(it->first);
+      if (found == load.end() || found->second != it->second) {
+        it = stable.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return stable;
+}
+
+double OfflineResolver::device_iou(sim::Time now, const web::DeviceProfile& a,
+                                   const web::DeviceProfile& b) const {
+  const auto sa = crawl_intersection(now, a, model_->first_party(), 0);
+  const auto sb = crawl_intersection(now, b, model_->first_party(), 0);
+  std::set<std::string> ua, ub;
+  for (const auto& [id, url] : sa) ua.insert(url);
+  for (const auto& [id, url] : sb) ub.insert(url);
+  std::size_t inter = 0;
+  for (const auto& u : ua) inter += ub.count(u);
+  const std::size_t uni = ua.size() + ub.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+const web::DeviceProfile& OfflineResolver::crawl_device(
+    sim::Time now, const web::DeviceProfile& client_device) const {
+  switch (config_.device_handling) {
+    case DeviceHandling::Exact:
+      return client_device;
+    case DeviceHandling::SingleClass:
+      return config_.known_devices.front();
+    case DeviceHandling::EquivalenceClasses:
+      break;
+  }
+  // Greedy clustering: walk known devices in order; a device joins the first
+  // existing class whose representative's stable set is similar enough,
+  // otherwise founds a new class.
+  std::vector<std::size_t> rep_of(config_.known_devices.size());
+  std::vector<std::size_t> reps;
+  for (std::size_t i = 0; i < config_.known_devices.size(); ++i) {
+    bool placed = false;
+    for (std::size_t rep : reps) {
+      if (device_iou(now, config_.known_devices[i],
+                     config_.known_devices[rep]) >= config_.iou_threshold) {
+        rep_of[i] = rep;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      reps.push_back(i);
+      rep_of[i] = i;
+    }
+  }
+  // Map the client's device to its class representative (by name, falling
+  // back to rendering-equivalent axes for unknown handsets).
+  for (std::size_t i = 0; i < config_.known_devices.size(); ++i) {
+    if (config_.known_devices[i].name == client_device.name ||
+        config_.known_devices[i].same_rendering(client_device)) {
+      return config_.known_devices[rep_of[i]];
+    }
+  }
+  return config_.known_devices.front();
+}
+
+std::map<std::uint32_t, std::string> OfflineResolver::stable_set(
+    sim::Time now, const web::DeviceProfile& client_device,
+    const std::string& serving_domain, std::uint32_t user) const {
+  const web::DeviceProfile& dev = crawl_device(now, client_device);
+  return crawl_intersection(now, dev, serving_domain, user);
+}
+
+}  // namespace vroom::core

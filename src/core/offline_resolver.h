@@ -1,0 +1,80 @@
+// Offline server-side dependency resolution (§4.1.2).
+//
+// A VROOM-compliant origin periodically loads each page it serves (hourly in
+// the paper's implementation) and, when a client requests the page, treats
+// the URLs present in *all* recent loads as the stable set worth advising.
+// The intersection automatically filters per-load ad churn and fast-rotating
+// personalized content. Device-type customization is handled with
+// equivalence classes so the server need not crawl with every handset model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "web/device.h"
+#include "web/page_instance.h"
+#include "web/page_model.h"
+
+namespace vroom::core {
+
+enum class DeviceHandling : std::uint8_t {
+  Exact,              // crawl with the client's exact device (upper bound)
+  EquivalenceClasses, // cluster known devices by stable-set IoU (the paper)
+  SingleClass,        // one crawl device for everyone (ablation)
+};
+
+struct OfflineConfig {
+  int loads = 3;                        // recent crawls intersected
+  sim::Time spacing = sim::hours(1);    // crawl period
+  DeviceHandling device_handling = DeviceHandling::EquivalenceClasses;
+  double iou_threshold = 0.80;          // cluster admission similarity
+  std::vector<web::DeviceProfile> known_devices = web::all_devices();
+};
+
+// Whether `serving_domain` holds the user's cookie state for resources of
+// `resource_domain` (same organization).
+bool org_knows_user(const web::PageModel& model,
+                    const std::string& serving_domain,
+                    const std::string& resource_domain);
+
+class OfflineResolver {
+ public:
+  OfflineResolver(const web::PageModel& model, OfflineConfig config);
+
+  // Stable set as of `now`, from the perspective of `serving_domain` holding
+  // `user`'s cookie for its own organization only. Keys are template ids;
+  // values the URL consistently observed across the recent crawls.
+  std::map<std::uint32_t, std::string> stable_set(
+      sim::Time now, const web::DeviceProfile& client_device,
+      const std::string& serving_domain, std::uint32_t user) const;
+
+  // Crawl device chosen for a client device under the configured handling.
+  const web::DeviceProfile& crawl_device(
+      sim::Time now, const web::DeviceProfile& client_device) const;
+
+  // Stable-set intersection-over-union between two devices (Figure 9).
+  double device_iou(sim::Time now, const web::DeviceProfile& a,
+                    const web::DeviceProfile& b) const;
+
+  // All URLs observed in one crawl at `when` (the Figure 17 baseline:
+  // "dependencies = everything seen in a prior load").
+  std::map<std::uint32_t, std::string> single_load_urls(
+      sim::Time when, const web::DeviceProfile& device,
+      const std::string& serving_domain, std::uint32_t user,
+      std::uint64_t nonce) const;
+
+  const OfflineConfig& config() const { return config_; }
+
+ private:
+  std::map<std::uint32_t, std::string> crawl_intersection(
+      sim::Time now, const web::DeviceProfile& crawl_dev,
+      const std::string& serving_domain, std::uint32_t user) const;
+
+  const web::PageModel* model_;
+  OfflineConfig config_;
+};
+
+}  // namespace vroom::core

@@ -1,0 +1,50 @@
+// Cross-page offline dependency resolution (§7 of the paper).
+//
+// Crawling every page of a large site hourly is onerous. The paper observes
+// that pages of the same *type* (all article pages, all section fronts)
+// share their stable infrastructure, and defers exploiting that to future
+// work. This module implements it: the server crawls one representative
+// page per type and serves, for any sibling page, the stable slots whose
+// URLs are shared site-wide — falling back to online HTML analysis for the
+// page-specific remainder. The trade: crawl cost divided by the number of
+// siblings, versus the extra false negatives on page-specific stable
+// content.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/offline_resolver.h"
+#include "core/vroom_provider.h"
+
+namespace vroom::core {
+
+// Stable set computed from crawls of `crawled` (a sibling of the same site
+// and page type), restricted to the slots whose realized URLs are valid on
+// `target` too — i.e. the site-shared infrastructure.
+std::map<std::uint32_t, std::string> shared_stable_set(
+    const web::PageModel& target, const web::PageModel& crawled,
+    sim::Time now, const web::DeviceProfile& device,
+    const std::string& serving_domain, std::uint32_t user,
+    const OfflineConfig& config);
+
+struct TypeSharingSample {
+  double fn_per_page_crawl = 0;   // full Vroom: crawl this page itself
+  double fn_type_shared = 0;      // crawl one sibling, share infra slots
+  double fn_online_only_scan = 0; // no offline knowledge at all
+  int shared_slots = 0;           // slots transferable across siblings
+  int scope_size = 0;
+};
+
+// Measures the false-negative cost of replacing per-page crawls with one
+// sibling crawl plus online analysis, using the Fig-21 methodology
+// (predictable subset of back-to-back loads of `target`).
+TypeSharingSample measure_type_sharing(const web::PageModel& target,
+                                       const web::PageModel& crawled_sibling,
+                                       sim::Time when,
+                                       const web::DeviceProfile& device,
+                                       std::uint32_t user,
+                                       const OfflineConfig& config);
+
+}  // namespace vroom::core

@@ -1,0 +1,128 @@
+#include "core/vroom_provider.h"
+
+#include <map>
+
+#include "sim/random.h"
+#include "web/url.h"
+
+namespace vroom::core {
+
+const char* resolution_mode_name(ResolutionMode m) {
+  switch (m) {
+    case ResolutionMode::OfflinePlusOnline: return "vroom";
+    case ResolutionMode::OfflineOnly: return "offline-only";
+    case ResolutionMode::OnlineOnly: return "online-only";
+    case ResolutionMode::PreviousLoad: return "previous-load";
+  }
+  return "?";
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> resolve_candidates(
+    const web::PageInstance& served, std::uint32_t doc_id,
+    const std::string& serving_domain, std::uint32_t user,
+    ResolutionMode mode, const OfflineResolver& offline) {
+  const web::PageModel& model = served.model();
+  const sim::Time now = served.identity().wall_time;
+  const web::DeviceProfile& device = served.identity().device;
+
+  // Advice scope: descendants of the requested document, pruned below
+  // embedded HTML documents (§4.2).
+  const std::vector<std::uint32_t> scope = model.hintable_descendants(doc_id);
+
+  std::map<std::uint32_t, std::string> by_id;
+  switch (mode) {
+    case ResolutionMode::OfflinePlusOnline:
+    case ResolutionMode::OfflineOnly: {
+      auto stable = offline.stable_set(now, device, serving_domain, user);
+      for (std::uint32_t id : scope) {
+        auto it = stable.find(id);
+        if (it != stable.end()) by_id.emplace(id, it->second);
+      }
+      if (mode == ResolutionMode::OfflinePlusOnline) {
+        // Exact URLs from the served markup win over (possibly stale)
+        // crawl-derived URLs for the same slot.
+        OnlineScan scan = analyze_served_html(served, doc_id);
+        for (auto& [id, url] : scan.links) by_id[id] = url;
+      }
+      break;
+    }
+    case ResolutionMode::OnlineOnly: {
+      // Full page load at the server, right now: current time and device,
+      // but the *server's* load nonce and only its own cookies.
+      const std::uint64_t server_nonce = sim::derive_seed(
+          served.identity().nonce ^ 0x5eedf00dULL, "server-online-load");
+      web::LoadIdentity id;
+      id.wall_time = now;
+      id.device = device;
+      id.nonce = server_nonce;
+      for (std::uint32_t rid : scope) {
+        const web::Resource& r = model.resource(rid);
+        id.user = org_knows_user(model, serving_domain, r.domain) ? user : 0;
+        by_id.emplace(rid, web::realize_url(model, r, id));
+      }
+      break;
+    }
+    case ResolutionMode::PreviousLoad: {
+      // Everything seen in a single crawl within the past hour, per-load
+      // churn included.
+      const sim::Time when = now - sim::minutes(55);
+      const std::uint64_t nonce = sim::derive_seed(
+          static_cast<std::uint64_t>(when) ^ model.page_id(), "prev-load");
+      auto prev = offline.single_load_urls(when, device, serving_domain, user,
+                                           nonce);
+      for (std::uint32_t id : scope) {
+        auto it = prev.find(id);
+        if (it != prev.end()) by_id.emplace(id, it->second);
+      }
+      break;
+    }
+  }
+
+  std::vector<std::pair<std::uint32_t, std::string>> ordered;
+  ordered.reserve(by_id.size());
+  for (std::uint32_t id : scope) {  // scope is already in processing order
+    auto it = by_id.find(id);
+    if (it != by_id.end()) ordered.emplace_back(id, it->second);
+  }
+  return ordered;
+}
+
+VroomProvider::VroomProvider(const server::ReplayStore& store,
+                             VroomProviderConfig config)
+    : store_(store),
+      config_(std::move(config)),
+      offline_(store.instance().model(), config_.offline) {}
+
+server::DependencyAdvice VroomProvider::advise(const std::string& domain,
+                                               const http::Request& req) {
+  server::DependencyAdvice advice;
+  const web::PageInstance& inst = store_.instance();
+  auto entry = store_.lookup(req.url);
+  if (!entry || entry->type != web::ResourceType::Html) return advice;
+  const std::uint32_t doc_id = entry->template_id;
+
+  auto ordered = resolve_candidates(inst, doc_id, domain, req.user,
+                                    config_.mode, offline_);
+  AdviceBuild build = build_advice(inst, ordered, domain,
+                                   config_.hints_enabled, config_.push);
+  truncate_hints(build.hints, config_.max_hints);
+  advice.hints = std::move(build.hints);
+  advice.pushes = std::move(build.pushes);
+
+  switch (config_.mode) {
+    case ResolutionMode::OfflinePlusOnline:
+      advice.extra_delay = web::scan_cost(inst.resource(doc_id).size);
+      break;
+    case ResolutionMode::OnlineOnly:
+      // A full on-the-fly page load costs far more than an HTML scan.
+      advice.extra_delay = sim::ms(400);
+      break;
+    case ResolutionMode::OfflineOnly:
+    case ResolutionMode::PreviousLoad:
+      advice.extra_delay = 0;
+      break;
+  }
+  return advice;
+}
+
+}  // namespace vroom::core

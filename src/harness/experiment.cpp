@@ -1,0 +1,168 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "core/client_scheduler.h"
+#include "harness/stats.h"
+#include "http/connection_pool.h"
+#include "server/origin_server.h"
+#include "sim/random.h"
+
+namespace vroom::harness {
+
+int effective_page_count(int n) {
+  if (const char* env = std::getenv("VROOM_BENCH_PAGES")) {
+    const int cap = std::atoi(env);
+    if (cap > 0) return std::min(n, cap);
+  }
+  return n;
+}
+
+browser::LoadResult run_page_load(const web::PageModel& page,
+                                  const baselines::Strategy& strategy,
+                                  const RunOptions& options,
+                                  std::uint64_t nonce) {
+  sim::EventLoop loop;
+  const net::NetworkConfig ncfg =
+      strategy.local_network
+          ? net::NetworkConfig::local_usb()
+          : options.network.value_or(net::NetworkConfig::lte());
+  // Per-domain RTT draws depend only on (seed, page), so every strategy sees
+  // the same network conditions for the same page.
+  net::Network network(loop, ncfg,
+                       sim::derive_seed(options.seed ^ page.page_id(), "rtt"));
+
+  web::LoadIdentity ident;
+  ident.wall_time = options.when;
+  ident.device = options.device;
+  ident.user = options.user;
+  ident.nonce = nonce;
+  const web::PageInstance instance(page, ident);
+
+  server::ReplayStore store(instance);
+  server::ServerFarm farm(store);
+
+  std::unique_ptr<core::VroomProvider> provider;
+  if (strategy.server_aid) {
+    provider = std::make_unique<core::VroomProvider>(store, strategy.provider);
+    if (strategy.first_party_only) {
+      farm.set_provider_first_party_only(provider.get());
+    } else {
+      farm.set_provider_for_all(provider.get());
+    }
+  }
+  if (options.cache != nullptr) {
+    browser::Cache* cache = options.cache;
+    farm.set_cache_digest([cache, &ident, &loop](const std::string& url) {
+      return cache->fresh(url, ident.wall_time + loop.now());
+    });
+  }
+
+  browser::Browser* browser_ptr = nullptr;
+  http::PushObserver observer;
+  observer.on_promise = [&browser_ptr](const std::string& url,
+                                       std::int64_t bytes) {
+    if (browser_ptr != nullptr) browser_ptr->on_push_promise(url, bytes);
+  };
+  observer.on_complete = [&browser_ptr](const std::string& url,
+                                        std::int64_t bytes) {
+    if (browser_ptr != nullptr) browser_ptr->on_push_complete(url, bytes);
+  };
+
+  const http::Protocol proto = strategy.protocol;
+  http::ConnectionPool pool(
+      network,
+      [&farm](const std::string& domain) -> http::RequestHandler& {
+        return farm.server(domain);
+      },
+      [proto](const std::string&) { return proto; }, observer,
+      strategy.ordered_writer ? net::WriterDiscipline::Ordered
+                              : net::WriterDiscipline::RoundRobin);
+
+  std::unique_ptr<browser::FetchPolicy> policy =
+      baselines::make_policy(strategy);
+
+  browser::LoadConfig lc;
+  lc.cpu = strategy.zero_cpu ? browser::CpuCosts::zero()
+                             : browser::CpuCosts::nexus6();
+  lc.cpu.device_scale = options.device.cpu_scale;
+  lc.know_all_upfront = strategy.know_all_upfront;
+  lc.cache = options.cache;
+  lc.policy = policy.get();
+
+  browser::Browser browser(network, pool, instance, lc);
+  browser_ptr = &browser;
+  browser.start();
+  loop.run(options.timeout);
+
+  browser::LoadResult result = browser.result();
+  if (!result.finished) {
+    // Timed out: report the timeout as the PLT so tails stay visible.
+    result.plt = options.timeout;
+    result.aft = options.timeout;
+  }
+  return result;
+}
+
+browser::LoadResult run_page_median(const web::PageModel& page,
+                                    const baselines::Strategy& strategy,
+                                    const RunOptions& options) {
+  std::vector<browser::LoadResult> runs;
+  runs.reserve(static_cast<std::size_t>(options.loads_per_page));
+  for (int i = 0; i < options.loads_per_page; ++i) {
+    const std::uint64_t nonce = sim::derive_seed(
+        options.seed ^ page.page_id(), "load-nonce-" + std::to_string(i));
+    runs.push_back(run_page_load(page, strategy, options, nonce));
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const browser::LoadResult& a, const browser::LoadResult& b) {
+              return a.plt < b.plt;
+            });
+  return runs[runs.size() / 2];
+}
+
+CorpusResult run_corpus(const web::Corpus& corpus,
+                        const baselines::Strategy& strategy,
+                        const RunOptions& options) {
+  CorpusResult out;
+  out.strategy = strategy.name;
+  const int n = effective_page_count(static_cast<int>(corpus.size()));
+  out.loads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.loads.push_back(run_page_median(corpus.page(static_cast<std::size_t>(i)),
+                                        strategy, options));
+  }
+  return out;
+}
+
+std::vector<double> CorpusResult::plt_seconds() const {
+  std::vector<double> v;
+  v.reserve(loads.size());
+  for (const auto& r : loads) v.push_back(sim::to_seconds(r.plt));
+  return v;
+}
+
+std::vector<double> CorpusResult::aft_seconds() const {
+  std::vector<double> v;
+  v.reserve(loads.size());
+  for (const auto& r : loads) v.push_back(sim::to_seconds(r.aft));
+  return v;
+}
+
+std::vector<double> CorpusResult::speed_indices() const {
+  std::vector<double> v;
+  v.reserve(loads.size());
+  for (const auto& r : loads) v.push_back(r.speed_index_ms);
+  return v;
+}
+
+std::vector<double> CorpusResult::net_wait_fractions() const {
+  std::vector<double> v;
+  v.reserve(loads.size());
+  for (const auto& r : loads) v.push_back(r.net_wait_fraction());
+  return v;
+}
+
+}  // namespace vroom::harness

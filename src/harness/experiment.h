@@ -1,0 +1,65 @@
+// Experiment runner: composes a full page-load session (event loop, network,
+// realized page instance, replay store, origin farm, connection pool,
+// browser, policies) for one (page, strategy) pair, and sweeps corpora the
+// way the paper does — each page loaded three times, reporting the load with
+// the median PLT.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/strategies.h"
+#include "browser/browser.h"
+#include "web/corpus.h"
+
+namespace vroom::harness {
+
+struct RunOptions {
+  std::uint64_t seed = 42;
+  // Wall time of the load: far enough in that every rotation class has
+  // cycled many times.
+  sim::Time when = sim::days(45);
+  web::DeviceProfile device = web::nexus6();
+  std::uint32_t user = 1;
+  int loads_per_page = 3;
+  sim::Time timeout = sim::seconds(120);
+  browser::Cache* cache = nullptr;  // persistent cache for warm-load runs
+  // Access-network profile; defaults to the paper's good-signal LTE. The
+  // CPU-bottleneck lower-bound strategy always overrides this with the
+  // USB-tethered profile.
+  std::optional<net::NetworkConfig> network;
+};
+
+// One load of one page under one strategy.
+browser::LoadResult run_page_load(const web::PageModel& page,
+                                  const baselines::Strategy& strategy,
+                                  const RunOptions& options,
+                                  std::uint64_t nonce);
+
+// The paper's per-page procedure: N loads, keep the median-PLT load.
+browser::LoadResult run_page_median(const web::PageModel& page,
+                                    const baselines::Strategy& strategy,
+                                    const RunOptions& options);
+
+struct CorpusResult {
+  std::string strategy;
+  std::vector<browser::LoadResult> loads;  // one per page
+
+  std::vector<double> plt_seconds() const;
+  std::vector<double> aft_seconds() const;
+  std::vector<double> speed_indices() const;
+  std::vector<double> net_wait_fractions() const;
+};
+
+CorpusResult run_corpus(const web::Corpus& corpus,
+                        const baselines::Strategy& strategy,
+                        const RunOptions& options);
+
+// Honors VROOM_BENCH_PAGES (environment) to cap corpus size for quick runs;
+// returns `n` unchanged when unset.
+int effective_page_count(int n);
+
+}  // namespace vroom::harness

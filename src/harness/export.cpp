@@ -1,0 +1,87 @@
+#include "harness/export.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace vroom::harness {
+
+std::string slugify(const std::string& title) {
+  std::string out;
+  bool sep = false;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (sep && !out.empty()) out.push_back('_');
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+      sep = false;
+    } else {
+      sep = true;
+    }
+  }
+  return out.empty() ? "untitled" : out;
+}
+
+std::string series_to_csv(const std::vector<Series>& series) {
+  std::ostringstream os;
+  std::size_t rows = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << series[i].first << '"';
+    rows = std::max(rows, series[i].second.size());
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (i > 0) os << ',';
+      if (r < series[i].second.size()) os << series[i].second[r];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool write_csv(const std::string& path, const std::string& csv) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << csv;
+  return static_cast<bool>(f);
+}
+
+void maybe_export(const std::string& title,
+                  const std::vector<Series>& series) {
+  const char* dir = std::getenv("VROOM_OUT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  write_csv(std::string(dir) + "/" + slugify(title) + ".csv",
+            series_to_csv(series));
+}
+
+std::string timings_to_csv(const browser::LoadResult& result) {
+  std::ostringstream os;
+  os << "url,referenced,processable,in_iframe,hinted,pushed,from_cache,"
+        "bytes,discovered_ms,requested_ms,complete_ms,processed_ms\n";
+  auto cell = [&](sim::Time t) {
+    if (t == sim::kNever) {
+      os << "";
+    } else {
+      os << sim::to_ms(t);
+    }
+  };
+  for (const auto& t : result.timings) {
+    os << '"' << t.url << '"' << ',' << t.referenced << ',' << t.processable
+       << ',' << t.in_iframe << ',' << t.hinted << ',' << t.pushed << ','
+       << t.from_cache << ',' << t.bytes << ',';
+    cell(t.discovered);
+    os << ',';
+    cell(t.requested);
+    os << ',';
+    cell(t.complete);
+    os << ',';
+    cell(t.processed);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace vroom::harness

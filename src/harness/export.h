@@ -1,0 +1,32 @@
+// Machine-readable result export (CSV) so figure data can be plotted with
+// external tooling. Benches honour VROOM_OUT_DIR: when set, each printed
+// table is also written as `<dir>/<slug>.csv`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "browser/metrics.h"
+#include "harness/report.h"
+
+namespace vroom::harness {
+
+// "Figure 13 (a) Page Load Time" -> "figure_13_a_page_load_time".
+std::string slugify(const std::string& title);
+
+// One column per series, rows are the raw per-page values (padded rows are
+// omitted when series lengths differ). Returns the CSV text.
+std::string series_to_csv(const std::vector<Series>& series);
+
+// Writes CSV next to nothing else; creates the file, returns false on I/O
+// failure.
+bool write_csv(const std::string& path, const std::string& csv);
+
+// If VROOM_OUT_DIR is set, writes `series` as <dir>/<slugify(title)>.csv.
+void maybe_export(const std::string& title,
+                  const std::vector<Series>& series);
+
+// Per-resource timing dump of one load (waterfall analysis in spreadsheets).
+std::string timings_to_csv(const browser::LoadResult& result);
+
+}  // namespace vroom::harness

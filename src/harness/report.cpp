@@ -1,0 +1,50 @@
+#include "harness/report.h"
+
+#include <cstdio>
+
+#include "harness/export.h"
+#include "harness/stats.h"
+
+namespace vroom::harness {
+
+namespace {
+constexpr double kPercentiles[] = {5, 10, 25, 50, 75, 90, 95};
+}
+
+void print_cdf_table(const std::string& title, const std::string& unit,
+                     const std::vector<Series>& series) {
+  maybe_export(title, series);
+  std::printf("\n== %s (%s) ==\n", title.c_str(), unit.c_str());
+  std::printf("%6s", "pct");
+  for (const auto& [name, values] : series) {
+    std::printf("  %28s", name.c_str());
+  }
+  std::printf("\n");
+  for (double p : kPercentiles) {
+    std::printf("%5.0f%%", p);
+    for (const auto& [name, values] : series) {
+      std::printf("  %28.3f", percentile(values, p));
+    }
+    std::printf("\n");
+  }
+}
+
+void print_quartile_bars(const std::string& title, const std::string& unit,
+                         const std::vector<Series>& series) {
+  maybe_export(title, series);
+  std::printf("\n== %s (%s) ==\n", title.c_str(), unit.c_str());
+  std::printf("%-34s  %10s  %10s  %10s\n", "configuration", "p25", "median",
+              "p75");
+  for (const auto& [name, values] : series) {
+    const Quartiles q = quartiles(values);
+    std::printf("%-34s  %10.3f  %10.3f  %10.3f\n", name.c_str(), q.p25, q.p50,
+                q.p75);
+  }
+}
+
+void print_stat(const std::string& name, double value,
+                const std::string& unit) {
+  std::printf("%-44s %10.3f %s\n", name.c_str(), value, unit.c_str());
+}
+
+}  // namespace vroom::harness

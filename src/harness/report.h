@@ -1,0 +1,26 @@
+// Plain-text table printers matching the shapes the paper reports: CDFs
+// (per-percentile rows, one column per series) and quartile bars
+// (p25/median/p75 per configuration).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vroom::harness {
+
+using Series = std::pair<std::string, std::vector<double>>;
+
+// Prints a CDF table: rows at fixed percentiles, one column per series.
+void print_cdf_table(const std::string& title, const std::string& unit,
+                     const std::vector<Series>& series);
+
+// Prints quartile bars (p25 / median / p75), one row per configuration.
+void print_quartile_bars(const std::string& title, const std::string& unit,
+                         const std::vector<Series>& series);
+
+// Prints a single key/value stat line.
+void print_stat(const std::string& name, double value,
+                const std::string& unit);
+
+}  // namespace vroom::harness

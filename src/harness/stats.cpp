@@ -1,0 +1,29 @@
+#include "harness/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vroom::harness {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double median(std::vector<double> values) {
+  return percentile(std::move(values), 50.0);
+}
+
+Quartiles quartiles(const std::vector<double>& values) {
+  return Quartiles{percentile(values, 25.0), percentile(values, 50.0),
+                   percentile(values, 75.0)};
+}
+
+}  // namespace vroom::harness

@@ -1,0 +1,17 @@
+// Small statistics helpers shared by benches and tests.
+#pragma once
+
+#include <vector>
+
+namespace vroom::harness {
+
+// Linear-interpolated percentile; `p` in [0, 100]. Returns 0 for empty input.
+double percentile(std::vector<double> values, double p);
+double median(std::vector<double> values);
+
+struct Quartiles {
+  double p25 = 0, p50 = 0, p75 = 0;
+};
+Quartiles quartiles(const std::vector<double>& values);
+
+}  // namespace vroom::harness

@@ -1,0 +1,42 @@
+#include "http/connection_pool.h"
+
+#include <utility>
+
+namespace vroom::http {
+
+ConnectionPool::ConnectionPool(net::Network& net, HandlerLookup lookup,
+                               ProtocolChooser protocol,
+                               PushObserver push_observer,
+                               net::WriterDiscipline h2_discipline)
+    : net_(net),
+      lookup_(std::move(lookup)),
+      protocol_(std::move(protocol)),
+      push_observer_(std::move(push_observer)),
+      h2_discipline_(h2_discipline) {}
+
+Endpoint& ConnectionPool::endpoint(const std::string& domain) {
+  auto it = endpoints_.find(domain);
+  if (it != endpoints_.end()) return *it->second;
+  RequestHandler& handler = lookup_(domain);
+  std::unique_ptr<Endpoint> ep;
+  if (protocol_(domain) == Protocol::Http2) {
+    ep = std::make_unique<Http2Session>(net_, domain, handler, push_observer_,
+                                        h2_discipline_);
+  } else {
+    ep = std::make_unique<Http1Group>(net_, domain, handler);
+  }
+  auto [pos, _] = endpoints_.emplace(domain, std::move(ep));
+  return *pos->second;
+}
+
+std::int64_t ConnectionPool::h2_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto& [dom, ep] : endpoints_) {
+    if (auto* h2 = dynamic_cast<const Http2Session*>(ep.get())) {
+      sum += h2->bytes_received();
+    }
+  }
+  return sum;
+}
+
+}  // namespace vroom::http

@@ -1,0 +1,47 @@
+// Per-domain endpoint factory for one page load.
+//
+// Chooses the protocol per domain (supporting mixed deployments: e.g. only
+// the first-party organization speaks full VROOM/HTTP-2 in the incremental
+// adoption study of §6.1) and wires server push events back to the page
+// loader.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "http/http1.h"
+#include "http/http2.h"
+#include "http/message.h"
+
+namespace vroom::http {
+
+enum class Protocol { Http1, Http2 };
+
+class ConnectionPool {
+ public:
+  using HandlerLookup = std::function<RequestHandler&(const std::string&)>;
+  using ProtocolChooser = std::function<Protocol(const std::string&)>;
+
+  ConnectionPool(net::Network& net, HandlerLookup lookup,
+                 ProtocolChooser protocol, PushObserver push_observer,
+                 net::WriterDiscipline h2_discipline =
+                     net::WriterDiscipline::RoundRobin);
+
+  // Returns (creating on first use) the endpoint for a domain.
+  Endpoint& endpoint(const std::string& domain);
+
+  // Total response bytes received over HTTP/2 sessions (stats).
+  std::int64_t h2_bytes() const;
+
+ private:
+  net::Network& net_;
+  HandlerLookup lookup_;
+  ProtocolChooser protocol_;
+  PushObserver push_observer_;
+  net::WriterDiscipline h2_discipline_;
+  std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace vroom::http

@@ -1,0 +1,91 @@
+#include "http/http1.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vroom::http {
+
+Http1Group::Http1Group(net::Network& net, std::string domain,
+                       RequestHandler& handler)
+    : net_(net), domain_(std::move(domain)), handler_(handler) {}
+
+void Http1Group::fetch(const Request& req, ResponseHandlers handlers) {
+  // Insert keeping the queue ordered by priority (desc), FIFO within equal
+  // priorities.
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [&](const auto& e) { return e.first.priority <
+                                                      req.priority; });
+  queue_.insert(it, {req, std::move(handlers)});
+  pump();
+}
+
+void Http1Group::pump() {
+  if (queue_.empty()) return;
+  // Reuse an idle established connection first.
+  for (auto& cp : conns_) {
+    if (!cp->busy && !cp->connecting && cp->tcp->established()) {
+      if (queue_.empty()) return;
+      auto [req, handlers] = std::move(queue_.front());
+      queue_.pop_front();
+      cp->busy = true;
+      run_request(*cp, std::move(req), std::move(handlers));
+      if (queue_.empty()) return;
+    }
+  }
+  // Open new connections up to the limit while work remains.
+  while (!queue_.empty() &&
+         conns_.size() < static_cast<std::size_t>(kMaxConnections)) {
+    auto cp = std::make_unique<Conn>();
+    Conn* c = cp.get();
+    c->tcp = std::make_unique<net::TcpConnection>(net_, domain_,
+                                                  /*needs_dns=*/!dns_done_);
+    dns_done_ = true;
+    c->connecting = true;
+    conns_.push_back(std::move(cp));
+    c->tcp->connect([this, c] {
+      c->connecting = false;
+      pump();
+    });
+    // The connection only picks work up once established (via pump), so a
+    // queued request may be taken by whichever connection frees up first.
+    break;  // open one at a time per pump; re-entered on events
+  }
+  // If every connection is busy/connecting, the queue drains later.
+}
+
+void Http1Group::run_request(Conn& c, Request req, ResponseHandlers handlers) {
+  c.tcp->send_request(
+      kH1RequestHeaderBytes,
+      [this, &c, req, handlers = std::move(handlers)]() mutable {
+        ServerReply reply = handler_.handle(req);
+        const sim::Time delay = net_.config().server_think + reply.extra_delay;
+        net_.loop().schedule_in(delay, [this, &c, req,
+                                        reply = std::move(reply),
+                                        handlers =
+                                            std::move(handlers)]() mutable {
+          auto meta = std::make_shared<ResponseMeta>();
+          meta->url = req.url;
+          meta->body_bytes = reply.not_modified ? 0 : reply.body_bytes;
+          meta->hints = std::move(reply.hints);
+          meta->not_modified = reply.not_modified;
+          auto shared =
+              std::make_shared<ResponseHandlers>(std::move(handlers));
+          net::TcpConnection::Chunk chunk;
+          chunk.bytes = (reply.not_modified
+                             ? k304Bytes
+                             : kResponseHeaderBytes + reply.body_bytes) +
+                        meta->hints.header_bytes();
+          chunk.on_first_byte = [meta, shared] {
+            if (shared->on_headers) shared->on_headers(*meta);
+          };
+          chunk.on_delivered = [this, &c, meta, shared] {
+            if (shared->on_complete) shared->on_complete(*meta);
+            c.busy = false;
+            pump();
+          };
+          c.tcp->send_chunk(std::move(chunk));
+        });
+      });
+}
+
+}  // namespace vroom::http

@@ -1,0 +1,47 @@
+// HTTP/1.1 connection group: up to six parallel connections per domain, one
+// outstanding request per connection, no server push.
+//
+// Requests beyond the parallelism limit queue (higher `Request::priority`
+// first, FIFO within a priority) — the browser behaviour whose head-of-line
+// blocking HTTP/2 was designed to remove.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+#include "net/tcp.h"
+
+namespace vroom::http {
+
+class Http1Group : public Endpoint {
+ public:
+  static constexpr int kMaxConnections = 6;
+
+  Http1Group(net::Network& net, std::string domain, RequestHandler& handler);
+
+  void fetch(const Request& req, ResponseHandlers handlers) override;
+  const std::string& domain() const override { return domain_; }
+
+ private:
+  struct Conn {
+    std::unique_ptr<net::TcpConnection> tcp;
+    bool connecting = false;
+    bool busy = false;
+  };
+
+  void pump();
+  void run_request(Conn& c, Request req, ResponseHandlers handlers);
+
+  net::Network& net_;
+  std::string domain_;
+  RequestHandler& handler_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::deque<std::pair<Request, ResponseHandlers>> queue_;
+  bool dns_done_ = false;  // only the first connection pays the DNS lookup
+};
+
+}  // namespace vroom::http

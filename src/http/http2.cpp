@@ -1,0 +1,114 @@
+#include "http/http2.h"
+
+#include <utility>
+
+#include "web/resource.h"
+#include "web/url.h"
+
+namespace vroom::http {
+
+Http2Session::Http2Session(net::Network& net, std::string domain,
+                           RequestHandler& handler, PushObserver push_observer,
+                           net::WriterDiscipline discipline)
+    : net_(net),
+      domain_(std::move(domain)),
+      handler_(handler),
+      push_observer_(std::move(push_observer)),
+      discipline_(discipline) {}
+
+void Http2Session::ensure_connected() {
+  if (conn_) return;
+  conn_ = std::make_unique<net::TcpConnection>(net_, domain_,
+                                               /*needs_dns=*/true,
+                                               discipline_);
+  connecting_ = true;
+  conn_->connect([this] {
+    connecting_ = false;
+    auto pending = std::move(pending_);
+    pending_.clear();
+    for (auto& [req, handlers] : pending) dispatch(req, std::move(handlers));
+  });
+}
+
+void Http2Session::fetch(const Request& req, ResponseHandlers handlers) {
+  ensure_connected();
+  if (connecting_) {
+    pending_.emplace_back(req, std::move(handlers));
+    return;
+  }
+  dispatch(req, std::move(handlers));
+}
+
+void Http2Session::dispatch(const Request& req, ResponseHandlers handlers) {
+  // HPACK: the first request on the connection populates the dynamic table;
+  // later requests reference it.
+  const std::int64_t req_bytes = requests_sent_++ == 0
+                                     ? kH2RequestHeaderBytesFirst
+                                     : kH2RequestHeaderBytesIndexed;
+  conn_->send_request(
+      req_bytes,
+      [this, req, handlers = std::move(handlers)]() mutable {
+        // At the origin: think time (+ any policy-specific delay, e.g.
+        // on-the-fly HTML parsing) before the response starts to flow.
+        ServerReply reply = handler_.handle(req);
+        const sim::Time delay = net_.config().server_think + reply.extra_delay;
+        net_.loop().schedule_in(
+            delay, [this, req, reply = std::move(reply),
+                    handlers = std::move(handlers)]() mutable {
+              write_response(req, std::move(reply), std::move(handlers));
+            });
+      });
+}
+
+void Http2Session::write_response(const Request& req, ServerReply reply,
+                                  ResponseHandlers handlers) {
+  auto meta = std::make_shared<ResponseMeta>();
+  meta->url = req.url;
+  meta->body_bytes = reply.not_modified ? 0 : reply.body_bytes;
+  meta->hints = std::move(reply.hints);
+  meta->not_modified = reply.not_modified;
+
+  // Push promises ride with the triggering response's headers.
+  auto promises = std::make_shared<std::vector<PushItem>>(reply.pushes);
+
+  const std::int64_t resp_header = responses_sent_++ == 0
+                                       ? kResponseHeaderBytesFirst
+                                       : kResponseHeaderBytesIndexed;
+  net::TcpConnection::Chunk chunk;
+  chunk.bytes = (reply.not_modified ? k304Bytes
+                                    : resp_header + reply.body_bytes) +
+                meta->hints.header_bytes();
+  auto shared_handlers =
+      std::make_shared<ResponseHandlers>(std::move(handlers));
+  chunk.on_first_byte = [this, meta, promises, shared_handlers] {
+    if (push_observer_.on_promise) {
+      for (const PushItem& p : *promises) {
+        push_observer_.on_promise(p.url, p.body_bytes);
+      }
+    }
+    if (shared_handlers->on_headers) shared_handlers->on_headers(*meta);
+  };
+  chunk.on_delivered = [meta, shared_handlers] {
+    if (shared_handlers->on_complete) shared_handlers->on_complete(*meta);
+  };
+  conn_->send_chunk(next_stream_++, req.priority, std::move(chunk));
+
+  // Pushed content follows on its own streams; under the Ordered discipline
+  // it drains right after the triggering response. Pushed streams carry the
+  // priority of their content class so they cannot starve client-requested
+  // critical resources.
+  for (const PushItem& p : reply.pushes) {
+    net::TcpConnection::Chunk pc;
+    pc.bytes = kResponseHeaderBytes + p.body_bytes;
+    pc.on_delivered = [this, url = p.url, bytes = p.body_bytes] {
+      if (push_observer_.on_complete) push_observer_.on_complete(url, bytes);
+    };
+    const bool processable =
+        web::is_processable(web::type_from_ext(web::parse_url(p.url)
+                                                   ? web::parse_url(p.url)->ext
+                                                   : "bin"));
+    conn_->send_chunk(next_stream_++, processable ? 2 : 0, std::move(pc));
+  }
+}
+
+}  // namespace vroom::http

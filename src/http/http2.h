@@ -1,0 +1,53 @@
+// HTTP/2 session model: one TCP connection per domain, multiplexed requests,
+// server push.
+//
+// Each response (and each pushed resource) occupies its own stream. With the
+// RoundRobin writer discipline frames interleave across streams — stock
+// HTTP/2 behaviour; with Ordered, responses drain in the order the server
+// wrote them — the ordered response writer Vroom adds to Mahimahi (§5.1).
+// The PUSH_PROMISE becomes visible to the client when the triggering
+// response's headers arrive.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+#include "net/tcp.h"
+
+namespace vroom::http {
+
+class Http2Session : public Endpoint {
+ public:
+  Http2Session(net::Network& net, std::string domain, RequestHandler& handler,
+               PushObserver push_observer,
+               net::WriterDiscipline discipline =
+                   net::WriterDiscipline::RoundRobin);
+
+  void fetch(const Request& req, ResponseHandlers handlers) override;
+  const std::string& domain() const override { return domain_; }
+
+  std::int64_t bytes_received() const { return conn_->bytes_delivered(); }
+
+ private:
+  void ensure_connected();
+  void dispatch(const Request& req, ResponseHandlers handlers);
+  void write_response(const Request& req, ServerReply reply,
+                      ResponseHandlers handlers);
+
+  net::Network& net_;
+  std::string domain_;
+  RequestHandler& handler_;
+  PushObserver push_observer_;
+  net::WriterDiscipline discipline_;
+  std::unique_ptr<net::TcpConnection> conn_;
+  bool connecting_ = false;
+  std::uint32_t next_stream_ = 1;
+  int requests_sent_ = 0;   // HPACK dynamic-table warm-up accounting
+  int responses_sent_ = 0;
+  std::vector<std::pair<Request, ResponseHandlers>> pending_;
+};
+
+}  // namespace vroom::http

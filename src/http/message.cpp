@@ -1,0 +1,6 @@
+#include "http/message.h"
+
+// Interface definitions only; out-of-line virtual destructors anchor the
+// vtables here.
+
+namespace vroom::http {}  // namespace vroom::http

@@ -1,0 +1,31 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vroom::net {
+
+Link::Link(sim::EventLoop& loop, double bps) : loop_(loop), bps_(bps) {
+  assert(bps > 0);
+}
+
+sim::Time Link::tx_time(std::int64_t bytes) const {
+  return static_cast<sim::Time>(static_cast<double>(bytes) * 8.0 / bps_ * 1e6 +
+                                0.5);
+}
+
+void Link::transmit(std::int64_t bytes, std::function<void()> on_delivered) {
+  const sim::Time start = std::max(loop_.now(), busy_until_);
+  const sim::Time done = start + tx_time(bytes);
+  busy_time_ += done - start;
+  busy_until_ = done;
+  total_bytes_ += bytes;
+  loop_.schedule_at(done, std::move(on_delivered));
+}
+
+double Link::utilization() const {
+  if (loop_.now() == 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(loop_.now());
+}
+
+}  // namespace vroom::net

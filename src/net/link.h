@@ -1,0 +1,49 @@
+// Byte-serialized FIFO link model.
+//
+// The client's cellular access link is the shared bottleneck in mobile page
+// loads; every TCP connection's segments drain through one `Link` instance,
+// which serializes them at the configured rate in arrival order. Contention
+// between concurrently pushed/fetched resources — the effect Vroom's
+// cooperative scheduler exists to manage (§4.3 of the paper) — emerges
+// directly from this FIFO.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_loop.h"
+
+namespace vroom::net {
+
+class Link {
+ public:
+  // `bps` is the line rate in bits per second.
+  Link(sim::EventLoop& loop, double bps);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Serializes `bytes` through the link; `on_delivered` fires when the last
+  // bit clears the link. Transmissions queue FIFO behind earlier ones.
+  void transmit(std::int64_t bytes, std::function<void()> on_delivered);
+
+  // Time the link becomes idle given everything queued so far.
+  sim::Time busy_until() const { return busy_until_; }
+
+  // Serialization delay of `bytes` on an idle link.
+  sim::Time tx_time(std::int64_t bytes) const;
+
+  std::int64_t total_bytes() const { return total_bytes_; }
+
+  // Fraction of [0, now] during which the link was transmitting.
+  double utilization() const;
+
+ private:
+  sim::EventLoop& loop_;
+  double bps_;
+  sim::Time busy_until_ = 0;
+  std::int64_t total_bytes_ = 0;
+  sim::Time busy_time_ = 0;
+};
+
+}  // namespace vroom::net

@@ -1,0 +1,176 @@
+#include "net/tcp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+#include <utility>
+
+namespace vroom::net {
+
+bool TcpConnection::Stream::exhausted() const {
+  return send_cursor >= chunks.size() ||
+         (send_cursor == chunks.size() - 1 &&
+          chunks[send_cursor].to_send == 0);
+}
+
+TcpConnection::TcpConnection(Network& net, std::string domain, bool needs_dns,
+                             WriterDiscipline discipline)
+    : net_(net),
+      domain_(std::move(domain)),
+      needs_dns_(needs_dns),
+      discipline_(discipline),
+      rtt_(net_.rtt(domain_)) {
+  const auto& cfg = net_.config();
+  cwnd_ = static_cast<std::int64_t>(cfg.init_cwnd_segments) * cfg.mss_bytes;
+  max_cwnd_ = static_cast<std::int64_t>(cfg.max_cwnd_segments) * cfg.mss_bytes;
+  stream_window_ = cfg.h2_stream_window_bytes;
+}
+
+void TcpConnection::connect(std::function<void()> on_established) {
+  assert(!established_);
+  const auto& cfg = net_.config();
+  sim::Time setup = rtt_;  // TCP 3-way handshake (client sees 1 RTT)
+  setup += net_.radio_wakeup_delay();  // RRC idle->connected promotion
+  if (needs_dns_) setup += cfg.dns_lookup;
+  setup += static_cast<sim::Time>(cfg.tls_handshake_rtts) * rtt_;
+  net_.loop().schedule_in(setup, [this, cb = std::move(on_established)] {
+    established_ = true;
+    cb();
+  });
+}
+
+void TcpConnection::send_request(std::int64_t bytes,
+                                 std::function<void()> deliver_at_server) {
+  assert(established_);
+  // Uplink serialization at the client, then propagation to the origin.
+  const sim::Time half_rtt = rtt_ / 2;
+  net_.uplink().transmit(bytes,
+                         [this, half_rtt, cb = std::move(deliver_at_server)] {
+                           net_.loop().schedule_in(half_rtt, cb);
+                         });
+}
+
+TcpConnection::Stream& TcpConnection::stream_for(std::uint32_t id,
+                                                 int priority) {
+  for (auto& s : streams_) {
+    if (s.id == id) return s;
+  }
+  streams_.push_back(Stream{id, priority, {}, 0, 0});
+  return streams_.back();
+}
+
+void TcpConnection::send_chunk(std::uint32_t stream_id, int priority,
+                               Chunk chunk) {
+  assert(established_);
+  const std::int64_t bytes = std::max<std::int64_t>(chunk.bytes, 1);
+  stream_for(stream_id, priority)
+      .chunks.push_back(PendingChunk{std::move(chunk), bytes, bytes});
+  pump();
+}
+
+TcpConnection::Stream* TcpConnection::pick_stream() {
+  if (streams_.empty()) return nullptr;
+  // HTTP/2 flow control: a stream with a full window cannot send even if
+  // the connection's congestion window has room; another stream may.
+  auto flow_open = [&](const Stream& s) {
+    return stream_window_ <= 0 || streams_.size() < 2 ||
+           s.inflight < stream_window_;
+  };
+  if (discipline_ == WriterDiscipline::Ordered) {
+    for (auto& s : streams_) {
+      if (!s.exhausted() && flow_open(s)) return &s;
+    }
+    return nullptr;
+  }
+  // Highest-priority active streams first; round-robin within the tier.
+  int best = INT_MIN;
+  for (const auto& s : streams_) {
+    if (!s.exhausted() && flow_open(s)) best = std::max(best, s.priority);
+  }
+  if (best == INT_MIN) return nullptr;
+  const std::size_t n = streams_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Stream& s = streams_[(rr_next_ + i) % n];
+    if (!s.exhausted() && flow_open(s) && s.priority == best) {
+      rr_next_ = (rr_next_ + i + 1) % n;
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+void TcpConnection::pump() {
+  const std::int64_t mss = net_.config().mss_bytes;
+  while (inflight_ < cwnd_) {
+    Stream* s = pick_stream();
+    if (s == nullptr) return;
+    // Advance the stream's send cursor to a chunk with bytes left.
+    while (s->send_cursor < s->chunks.size() &&
+           s->chunks[s->send_cursor].to_send == 0) {
+      ++s->send_cursor;
+    }
+    if (s->send_cursor >= s->chunks.size()) continue;
+    PendingChunk& pc = s->chunks[s->send_cursor];
+    const std::int64_t seg = std::min(mss, pc.to_send);
+    pc.to_send -= seg;
+    inflight_ += seg;
+    s->inflight += seg;
+    const std::size_t stream_index =
+        static_cast<std::size_t>(s - streams_.data());
+    // A lost segment is recovered after a retransmission timeout and costs
+    // the flow half its window; the retransmit then takes the normal path.
+    sim::Time extra = 0;
+    if (net_.draw_loss()) {
+      extra = std::max(net_.config().rto_min, 2 * rtt_);
+      cwnd_ = std::max<std::int64_t>(cwnd_ / 2,
+                                     2 * net_.config().mss_bytes);
+    }
+    // Propagation from origin to the access-link bottleneck, then FIFO
+    // serialization shared with every other connection.
+    net_.loop().schedule_in(rtt_ / 2 + extra, [this, stream_index, seg] {
+      net_.downlink().transmit(seg, [this, stream_index, seg] {
+        on_segment_at_client(stream_index, seg);
+      });
+    });
+  }
+}
+
+void TcpConnection::on_segment_at_client(std::size_t stream_index,
+                                         std::int64_t seg) {
+  bytes_delivered_total_ += seg;
+  Stream& s = streams_[stream_index];
+  std::int64_t remaining = seg;
+  while (remaining > 0 && s.deliver_cursor < s.chunks.size()) {
+    PendingChunk& pc = s.chunks[s.deliver_cursor];
+    if (pc.to_deliver == 0) {
+      ++s.deliver_cursor;
+      continue;
+    }
+    if (!pc.first_byte_fired) {
+      pc.first_byte_fired = true;
+      if (pc.chunk.on_first_byte) pc.chunk.on_first_byte();
+    }
+    const std::int64_t credit = std::min(remaining, pc.to_deliver);
+    pc.to_deliver -= credit;
+    remaining -= credit;
+    if (pc.to_deliver == 0) {
+      if (pc.chunk.on_delivered) pc.chunk.on_delivered();
+      ++s.deliver_cursor;
+    }
+  }
+  // ACK (and the stream's WINDOW_UPDATE) travels back to the origin.
+  net_.loop().schedule_in(rtt_ / 2, [this, stream_index, seg] {
+    on_ack(stream_index, seg);
+  });
+}
+
+void TcpConnection::on_ack(std::size_t stream_index, std::int64_t seg) {
+  inflight_ -= seg;
+  streams_[stream_index].inflight -= seg;
+  // Slow start: cwnd grows by one MSS per acked segment (doubling per RTT)
+  // up to the configured cap; no loss, so we never leave slow start.
+  cwnd_ = std::min(cwnd_ + net_.config().mss_bytes, max_cwnd_);
+  pump();
+}
+
+}  // namespace vroom::net

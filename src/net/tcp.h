@@ -1,0 +1,113 @@
+// TCP connection model with stream-aware send scheduling.
+//
+// Models the pieces of TCP that shape page-load timing on an LTE access
+// link: DNS lookup, 3-way handshake, TLS setup RTTs, slow start from an
+// initial window, and in-order byte delivery through the shared bottleneck
+// (`Network::downlink`). Loss is not modeled — the paper's replay runs over
+// a good-signal LTE hotspot where retransmissions are rare; see DESIGN.md.
+//
+// Server-to-client data is enqueued as `Chunk`s tagged with a stream id.
+// Two writer disciplines are supported:
+//   * RoundRobin — segments alternate across active streams, approximating
+//     HTTP/2 frame multiplexing (the baseline behaviour);
+//   * Ordered   — streams drain strictly in first-write order, the ordered
+//     response writer Vroom adds to Mahimahi (§5.1).
+// HTTP/1.1 uses a single stream per connection, where the two coincide.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace vroom::net {
+
+enum class WriterDiscipline : std::uint8_t { RoundRobin, Ordered };
+
+class TcpConnection {
+ public:
+  struct Chunk {
+    std::int64_t bytes = 0;
+    std::function<void()> on_first_byte;  // first segment delivered (headers)
+    std::function<void()> on_delivered;   // all bytes delivered
+  };
+
+  // `needs_dns` should be true for the first connection to a domain within a
+  // page load.
+  TcpConnection(Network& net, std::string domain, bool needs_dns,
+                WriterDiscipline discipline = WriterDiscipline::Ordered);
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  const std::string& domain() const { return domain_; }
+  sim::Time rtt() const { return rtt_; }
+  bool established() const { return established_; }
+
+  // Performs DNS + TCP handshake + TLS setup, then fires `on_established`.
+  // Must be called exactly once.
+  void connect(std::function<void()> on_established);
+
+  // Per-stream flow-control window; defaults to the network config's value.
+  // Multi-stream (HTTP/2) connections enforce it; single-stream HTTP/1.1
+  // connections pass 0 to disable.
+  void set_stream_window(std::int64_t bytes) { stream_window_ = bytes; }
+
+  // Client -> server. `deliver_at_server` fires when the request reaches the
+  // origin (uplink serialization + half RTT). Valid once established.
+  void send_request(std::int64_t bytes,
+                    std::function<void()> deliver_at_server);
+
+  // Server -> client. Chunks within one stream drain FIFO; across streams
+  // the writer discipline decides: RoundRobin serves the highest-priority
+  // active streams first (HTTP/2 priority tree), cycling within a priority;
+  // Ordered ignores priority and drains streams in first-write order.
+  void send_chunk(std::uint32_t stream_id, int priority, Chunk chunk);
+  void send_chunk(Chunk chunk) { send_chunk(0, 0, std::move(chunk)); }
+
+  std::int64_t bytes_delivered() const { return bytes_delivered_total_; }
+
+ private:
+  struct PendingChunk {
+    Chunk chunk;
+    std::int64_t to_send;
+    std::int64_t to_deliver;
+    bool first_byte_fired = false;
+  };
+  struct Stream {
+    std::uint32_t id = 0;
+    int priority = 0;
+    std::deque<PendingChunk> chunks;
+    std::size_t send_cursor = 0;     // first chunk with to_send > 0
+    std::size_t deliver_cursor = 0;  // first chunk with to_deliver > 0
+    std::int64_t inflight = 0;       // un-acknowledged bytes (flow control)
+    bool exhausted() const;
+  };
+
+  Stream& stream_for(std::uint32_t id, int priority);
+  Stream* pick_stream();
+  void pump();
+  void on_segment_at_client(std::size_t stream_index, std::int64_t seg);
+  void on_ack(std::size_t stream_index, std::int64_t seg);
+
+  Network& net_;
+  std::string domain_;
+  bool needs_dns_;
+  WriterDiscipline discipline_;
+  sim::Time rtt_;
+  bool established_ = false;
+
+  std::vector<Stream> streams_;  // in first-write order
+  std::size_t rr_next_ = 0;
+
+  std::int64_t cwnd_ = 0;
+  std::int64_t max_cwnd_ = 0;
+  std::int64_t inflight_ = 0;
+  std::int64_t stream_window_ = 0;  // 0 = no per-stream flow control
+  std::int64_t bytes_delivered_total_ = 0;
+};
+
+}  // namespace vroom::net

@@ -1,0 +1,86 @@
+#include "server/origin_server.h"
+
+#include <cassert>
+
+#include "web/url.h"
+
+namespace vroom::server {
+
+OriginServer::OriginServer(std::string domain, const ReplayStore& store)
+    : domain_(std::move(domain)), store_(store) {}
+
+http::ServerReply OriginServer::handle(const http::Request& req) {
+  ++requests_served_;
+  http::ServerReply reply;
+  auto entry = store_.lookup(req.url);
+  if (!entry) {
+    reply.body_bytes = 500;  // error page
+    return reply;
+  }
+  assert(web::url_domain(req.url) == domain_);
+
+  if (req.conditional && entry->current) {
+    // The cached copy is still the live version of this slot.
+    reply.not_modified = true;
+    return reply;
+  }
+  reply.body_bytes = entry->size;
+  reply.extra_delay = extra_think_;
+
+  if (provider_ && entry->type == web::ResourceType::Html) {
+    DependencyAdvice advice = provider_->advise(domain_, req);
+    reply.hints = std::move(advice.hints);
+    reply.extra_delay += advice.extra_delay;
+    for (http::PushItem& p : advice.pushes) {
+      // A domain can only securely push content it owns, and skips content
+      // the client's cache digest says it already holds.
+      if (web::url_domain(p.url) != domain_) continue;
+      if (digest_ && digest_(p.url)) continue;
+      push_bytes_ += p.body_bytes;
+      reply.pushes.push_back(std::move(p));
+    }
+  }
+  return reply;
+}
+
+OriginServer& ServerFarm::server(const std::string& domain) {
+  auto it = servers_.find(domain);
+  if (it != servers_.end()) return *it->second;
+  auto s = std::make_unique<OriginServer>(domain, store_);
+  configure(*s, domain);
+  auto [pos, _] = servers_.emplace(domain, std::move(s));
+  return *pos->second;
+}
+
+void ServerFarm::configure(OriginServer& s, const std::string& domain) {
+  const bool aid =
+      provider_ != nullptr &&
+      (!first_party_only_ ||
+       store_.instance().model().is_first_party_org(domain));
+  s.set_provider(aid ? provider_ : nullptr);
+  if (digest_) s.set_cache_digest(digest_);
+  // Ad exchanges and tag managers run auctions/matching on each request;
+  // their first-byte latency is far above a static origin's.
+  if (domain.rfind("ads", 0) == 0 || domain.rfind("tag", 0) == 0) {
+    s.set_extra_think(sim::ms(80));
+  }
+}
+
+void ServerFarm::set_provider_for_all(DependencyProvider* provider) {
+  provider_ = provider;
+  first_party_only_ = false;
+  for (auto& [dom, s] : servers_) configure(*s, dom);
+}
+
+void ServerFarm::set_provider_first_party_only(DependencyProvider* provider) {
+  provider_ = provider;
+  first_party_only_ = true;
+  for (auto& [dom, s] : servers_) configure(*s, dom);
+}
+
+void ServerFarm::set_cache_digest(OriginServer::CacheDigest digest) {
+  digest_ = std::move(digest);
+  for (auto& [dom, s] : servers_) configure(*s, dom);
+}
+
+}  // namespace vroom::server

@@ -1,0 +1,28 @@
+#include "server/replay_store.h"
+
+namespace vroom::server {
+
+std::optional<ReplayStore::Entry> ReplayStore::lookup(
+    const std::string& url) const {
+  if (auto id = instance_->find_by_url(url)) {
+    Entry e;
+    e.size = instance_->resource(*id).size;
+    e.type = instance_->model().resource(*id).type;
+    e.current = true;
+    e.template_id = *id;
+    return e;
+  }
+  // Stale realization of a known slot.
+  if (auto size = web::servable_size(instance_->model(), url)) {
+    auto parsed = web::parse_url(url);
+    Entry e;
+    e.size = *size;
+    e.type = instance_->model().resource(parsed->resource_id).type;
+    e.current = false;
+    e.template_id = parsed->resource_id;
+    return e;
+  }
+  return std::nullopt;
+}
+
+}  // namespace vroom::server

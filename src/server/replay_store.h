@@ -1,0 +1,40 @@
+// Record-and-replay content store (the Mahimahi role in the paper's setup).
+//
+// A store is built around one realized `PageInstance` — the "recorded" page.
+// It can also serve *stale* URLs from other realizations of the same page
+// (e.g. a client fetching a last-hour story image because of an outdated
+// dependency hint), just as a real origin keeps recently rotated content
+// addressable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "web/page_instance.h"
+
+namespace vroom::server {
+
+class ReplayStore {
+ public:
+  explicit ReplayStore(const web::PageInstance& instance)
+      : instance_(&instance) {}
+
+  struct Entry {
+    std::int64_t size = 0;
+    web::ResourceType type = web::ResourceType::Other;
+    bool current = false;  // part of the recorded instance (vs stale version)
+    std::uint32_t template_id = 0;
+  };
+
+  // Resolves a URL to servable content; nullopt if the URL does not belong
+  // to this page at all.
+  std::optional<Entry> lookup(const std::string& url) const;
+
+  const web::PageInstance& instance() const { return *instance_; }
+
+ private:
+  const web::PageInstance* instance_;
+};
+
+}  // namespace vroom::server

@@ -1,0 +1,46 @@
+#include "sim/event_loop.h"
+
+#include <algorithm>
+
+namespace vroom::sim {
+
+EventId EventLoop::schedule_at(Time at, Callback cb) {
+  if (at < now_) at = now_;
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{at, seq, std::move(cb)});
+  return EventId{seq};
+}
+
+void EventLoop::cancel(EventId id) {
+  if (id.seq_ == 0) return;
+  cancelled_.push_back(id.seq_);
+}
+
+bool EventLoop::step(Time until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), top.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (top.at > until) return false;
+    // Move the callback out before popping; the callback may schedule more
+    // events, which mutates the queue.
+    Event ev = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    now_ = ev.at;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run(Time until) {
+  std::size_t n = 0;
+  while (step(until)) ++n;
+  return n;
+}
+
+}  // namespace vroom::sim

@@ -1,0 +1,31 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated durations and instants are expressed in microseconds as a
+// signed 64-bit integer. Helper constructors keep call sites readable
+// (`sim::ms(35)` instead of `35'000`).
+#pragma once
+
+#include <cstdint>
+
+namespace vroom::sim {
+
+using Time = std::int64_t;  // microseconds since simulation start
+
+constexpr Time kNever = INT64_MAX;
+
+constexpr Time us(std::int64_t v) { return v; }
+constexpr Time ms(std::int64_t v) { return v * 1'000; }
+constexpr Time seconds(std::int64_t v) { return v * 1'000'000; }
+constexpr Time minutes(std::int64_t v) { return v * 60'000'000; }
+constexpr Time hours(std::int64_t v) { return v * 3'600'000'000LL; }
+constexpr Time days(std::int64_t v) { return v * 86'400'000'000LL; }
+
+// Fractional-second constructor, rounding to the nearest microsecond.
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * 1e6 + (s >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace vroom::sim

@@ -1,0 +1,32 @@
+#include "web/amp.h"
+
+namespace vroom::web {
+
+PageModel amp_transform(const PageModel& page) {
+  PageModel amp(page.page_id(), page.page_class(), page.first_party());
+  for (std::size_t i = 1; i < page.first_party_group().size(); ++i) {
+    amp.add_first_party_domain(page.first_party_group()[i]);
+  }
+  for (Resource r : page.resources()) {
+    if (r.type == ResourceType::Js) {
+      // Custom synchronous JS is disallowed; components are async.
+      r.blocks_parser = false;
+      if (r.id != 0) r.async = true;
+    }
+    if (r.type == ResourceType::Image && !r.in_iframe &&
+        r.via == DiscoveryVia::JsExec) {
+      // amp-img: content images are declared in markup with fixed
+      // dimensions, visible to the preload scanner immediately.
+      r.via = DiscoveryVia::HtmlTag;
+      r.parent = 0;
+    }
+    if (r.is_iframe_doc) {
+      // amp-ad renders ads without blocking the page's load metrics.
+      r.post_onload = true;
+    }
+    amp.add(std::move(r));
+  }
+  return amp;
+}
+
+}  // namespace vroom::web

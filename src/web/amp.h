@@ -1,0 +1,22 @@
+// AMP-like page transform (§8: Google's AMP project rewrites pages so most
+// resources load asynchronously; the paper notes Vroom speeds up legacy
+// pages AND can still help AMP pages by starting the asynchronous fetches
+// earlier via hints).
+//
+// The transform applies AMP's structural restrictions to a legacy template:
+//   * no parser-blocking scripts (custom JS is replaced by async runtime
+//     components);
+//   * content images declared in markup with dimensions (amp-img), so the
+//     preload scanner sees every content image immediately;
+//   * ads in sandboxed amp-ad iframes that render after the load event.
+// Everything else (sizes, domains, volatility) is preserved, so AMP-vs-
+// legacy comparisons isolate the page structure.
+#pragma once
+
+#include "web/page_model.h"
+
+namespace vroom::web {
+
+PageModel amp_transform(const PageModel& page);
+
+}  // namespace vroom::web

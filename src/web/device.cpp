@@ -1,0 +1,15 @@
+#include "web/device.h"
+
+namespace vroom::web {
+
+DeviceProfile nexus6() { return {"Nexus6", 0, 2, 1, 1.0}; }
+DeviceProfile oneplus3() { return {"OnePlus3", 0, 2, 2, 0.85}; }
+DeviceProfile nexus10() { return {"Nexus10", 1, 1, 2, 1.1}; }
+DeviceProfile nexus5() { return {"Nexus5", 0, 1, 1, 1.25}; }
+DeviceProfile galaxy_tab() { return {"GalaxyTab", 1, 0, 2, 1.35}; }
+
+std::vector<DeviceProfile> all_devices() {
+  return {nexus6(), oneplus3(), nexus10(), nexus5(), galaxy_tab()};
+}
+
+}  // namespace vroom::web

@@ -1,0 +1,49 @@
+// Client device profiles.
+//
+// Pages customize resources by device characteristics (screen class, pixel
+// density, viewport width) — §4.1.2 and Figure 9 of the paper. A device
+// profile captures the axes that matter for that customization plus a CPU
+// speed scale (the Nexus 6 is the paper's reference device).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vroom::web {
+
+enum class DeviceAxis : std::uint8_t { Screen = 0, Dpi = 1, Width = 2 };
+constexpr int kNumDeviceAxes = 3;
+
+struct DeviceProfile {
+  std::string name;
+  int screen = 0;  // 0 = phone, 1 = tablet
+  int dpi = 0;     // density bucket 0..2
+  int width = 0;   // viewport-width bucket 0..2
+  double cpu_scale = 1.0;  // multiplier on per-byte processing cost
+
+  int axis_value(DeviceAxis a) const {
+    switch (a) {
+      case DeviceAxis::Screen: return screen;
+      case DeviceAxis::Dpi: return dpi;
+      case DeviceAxis::Width: return width;
+    }
+    return 0;
+  }
+
+  bool same_rendering(const DeviceProfile& o) const {
+    return screen == o.screen && dpi == o.dpi && width == o.width;
+  }
+};
+
+// The devices used throughout the evaluation. nexus6() is the reference.
+DeviceProfile nexus6();     // phone, high dpi
+DeviceProfile oneplus3();   // phone, high dpi, slightly different viewport
+DeviceProfile nexus10();    // tablet
+DeviceProfile nexus5();     // phone, lower dpi
+DeviceProfile galaxy_tab(); // tablet, lower dpi
+
+std::vector<DeviceProfile> all_devices();
+
+}  // namespace vroom::web

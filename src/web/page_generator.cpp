@@ -1,0 +1,565 @@
+#include "web/page_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace vroom::web {
+namespace {
+
+using sim::Rng;
+
+struct Builder {
+  PageModel& page;
+  Rng& rng;
+  const GeneratorParams& p;
+  std::vector<std::string> first_party_domains;
+  std::vector<std::string> third_party_domains;
+  std::vector<std::string> ad_domains;  // subset of third parties
+
+  std::string pick_first_party() {
+    return first_party_domains[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(first_party_domains.size()) - 1))];
+  }
+  std::string pick_third_party() {
+    return third_party_domains[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(third_party_domains.size()) - 1))];
+  }
+  std::string pick_ad_domain() {
+    return ad_domains[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(ad_domains.size()) - 1))];
+  }
+
+  // Rotation period draws per volatility class.
+  sim::Time draw_period(Volatility v) {
+    switch (v) {
+      case Volatility::Stable:
+        return sim::from_seconds(rng.uniform(3.0, 16.0) * 7 * 86400.0);
+      case Volatility::Daily:
+        return sim::from_seconds(rng.uniform(0.6, 2.5) * 86400.0);
+      case Volatility::Hourly:
+        // Capped below the 2-hour span of the offline crawl window so the
+        // stable-set intersection always filters hour-scale churn.
+        return sim::from_seconds(rng.uniform(0.5, 2.0) * 3600.0);
+      case Volatility::Personalized:
+        // Hour-scale churn so offline intersection filters these out (§4.2).
+        return sim::from_seconds(rng.uniform(0.4, 1.5) * 3600.0);
+      case Volatility::PerLoad:
+        return sim::hours(1);  // unused
+    }
+    return sim::days(30);
+  }
+
+  Volatility draw_volatility(bool in_iframe, ResourceType type) {
+    if (in_iframe) {
+      const std::size_t k = rng.weighted({p.iframe_stable, p.iframe_hourly,
+                                          p.iframe_perload,
+                                          p.iframe_personalized});
+      switch (k) {
+        case 0: return Volatility::Stable;
+        case 1: return Volatility::Hourly;
+        case 2: return Volatility::PerLoad;
+        default: return Volatility::Personalized;
+      }
+    }
+    // Infrastructure resources (stylesheets, scripts, fonts) rotate far less
+    // than content images — bias them to Stable.
+    if (type == ResourceType::Css || type == ResourceType::Js ||
+        type == ResourceType::Font) {
+      if (rng.chance(0.80)) return Volatility::Stable;
+    }
+    const std::size_t k =
+        rng.weighted({p.main_stable, p.main_daily, p.main_hourly,
+                      p.main_perload, p.main_personalized});
+    switch (k) {
+      case 0: return Volatility::Stable;
+      case 1: return Volatility::Daily;
+      case 2: return Volatility::Hourly;
+      case 3: return Volatility::PerLoad;
+      default: return Volatility::Personalized;
+    }
+  }
+
+  Resource make(std::int32_t parent, ResourceType type, DiscoveryVia via,
+                double offset, double size, std::string domain,
+                bool in_iframe) {
+    Resource r;
+    r.id = static_cast<std::uint32_t>(page.size());
+    r.parent = parent;
+    r.type = type;
+    r.via = via;
+    r.discovery_offset = std::clamp(offset, 0.0, 1.0);
+    r.base_size = std::max<std::int64_t>(static_cast<std::int64_t>(size), 128);
+    r.domain = std::move(domain);
+    r.in_iframe = in_iframe;
+    r.volatility = draw_volatility(in_iframe, type);
+    r.rotation_period = draw_period(r.volatility);
+    r.rotation_phase = sim::from_seconds(
+        rng.uniform(0.0, sim::to_seconds(r.rotation_period)));
+    if (r.volatility == Volatility::Personalized && !in_iframe) {
+      // Main-document personalization is overwhelmingly done by the page's
+      // own organization (it is the one holding the user's account state).
+      r.first_party_personalized = rng.chance(0.85);
+      if (r.first_party_personalized) r.domain = pick_first_party();
+    }
+    if (type != ResourceType::Html) {
+      r.cacheable = rng.chance(p.cacheable_frac);
+      if (r.cacheable) {
+        const std::size_t bucket = rng.weighted({0.20, 0.30, 0.30, 0.20});
+        switch (bucket) {
+          case 0: r.max_age = sim::hours(1); break;
+          case 1: r.max_age = sim::days(1); break;
+          case 2: r.max_age = sim::days(7); break;
+          default: r.max_age = sim::days(365); break;
+        }
+      }
+    }
+    return r;
+  }
+
+  int poisson_count(double mean) {
+    // Rounded exponential-ish dispersion around the mean; bounded below by 0.
+    const double v = rng.normal(mean, std::sqrt(std::max(mean, 0.5)));
+    return std::max(0, static_cast<int>(std::lround(v)));
+  }
+
+  // Recursively grows a script's children (ad/analytics chains).
+  void grow_js_subtree(std::uint32_t js_id, bool in_iframe, int depth) {
+    if (depth >= p.max_depth) return;
+    if (!rng.chance(p.js_child_prob)) return;
+    const int n = std::max(1, poisson_count(p.js_child_mean));
+    for (int i = 0; i < n; ++i) {
+      const double roll = rng.uniform();
+      const std::string dom =
+          in_iframe ? pick_ad_domain()
+                    : (rng.chance(0.7) ? pick_third_party() : pick_first_party());
+      const double offset = rng.uniform(0.55, 1.0);
+      if (roll < 0.65) {
+        Resource img =
+            make(static_cast<std::int32_t>(js_id), ResourceType::Image,
+                 DiscoveryVia::JsExec, offset,
+                 rng.lognormal(p.chain_image_median, p.chain_image_sigma),
+                 dom, in_iframe);
+        // Most JS-created chain images are tracking pixels that never enter
+        // the DOM; the load event does not wait for them.
+        img.blocks_onload = !rng.chance(0.60);
+        page.add(std::move(img));
+      } else if (roll < 0.87) {
+        Resource r = make(static_cast<std::int32_t>(js_id), ResourceType::Js,
+                          DiscoveryVia::JsExec, offset,
+                          rng.lognormal(p.chain_js_median, p.chain_js_sigma),
+                          dom, in_iframe);
+        r.async = true;  // JS-injected scripts do not block the parser
+        const std::uint32_t id = page.add(std::move(r));
+        grow_js_subtree(id, in_iframe, depth + 1);
+      } else {
+        Resource o =
+            make(static_cast<std::int32_t>(js_id), ResourceType::Other,
+                 DiscoveryVia::JsExec, offset, rng.lognormal(2e3, 0.8), dom,
+                 in_iframe);
+        o.blocks_onload = false;  // analytics POSTs/beacons
+        page.add(std::move(o));
+      }
+    }
+  }
+
+  // Builds an iframe document and its subtree (ad unit).
+  void grow_iframe(std::int32_t parent, DiscoveryVia via, double offset,
+                   int depth, bool post_onload = false) {
+    if (depth >= p.max_depth) return;
+    const std::string ad_dom = pick_ad_domain();
+    Resource doc = make(parent, ResourceType::Html, via, offset,
+                        rng.lognormal(p.iframe_html_median,
+                                      p.iframe_html_sigma),
+                        ad_dom, /*in_iframe=*/true);
+    doc.is_iframe_doc = true;
+    doc.post_onload = post_onload;
+    const std::uint32_t doc_id = page.add(std::move(doc));
+
+    const int njs = poisson_count(p.iframe_js_mean);
+    for (int i = 0; i < njs; ++i) {
+      Resource r = make(static_cast<std::int32_t>(doc_id), ResourceType::Js,
+                        DiscoveryVia::HtmlTag, rng.uniform(0.1, 0.9),
+                        rng.lognormal(p.js_size_median, p.js_size_sigma),
+                        pick_ad_domain(), true);
+      r.blocks_parser = rng.chance(0.5);
+      r.async = !r.blocks_parser;
+      const std::uint32_t id = page.add(std::move(r));
+      grow_js_subtree(id, /*in_iframe=*/true, depth + 1);
+    }
+    const int nimg = poisson_count(p.iframe_image_mean);
+    for (int i = 0; i < nimg; ++i) {
+      page.add(make(static_cast<std::int32_t>(doc_id), ResourceType::Image,
+                    DiscoveryVia::HtmlTag, rng.uniform(0.1, 1.0),
+                    rng.lognormal(p.image_size_median, p.image_size_sigma),
+                    pick_ad_domain(), true));
+    }
+    if (rng.chance(p.nested_iframe_prob)) {
+      grow_iframe(static_cast<std::int32_t>(doc_id), DiscoveryVia::HtmlTag,
+                  rng.uniform(0.3, 1.0), depth + 2);
+    }
+  }
+};
+
+// Fills in everything under the root document (defined after generate_page).
+void populate_body(Builder& b, PageModel& page, Rng& rng,
+                   const GeneratorParams& p);
+
+}  // namespace
+
+GeneratorParams GeneratorParams::for_class(PageClass cls) {
+  GeneratorParams p;
+  switch (cls) {
+    case PageClass::News:
+      p.complexity = 1.0;
+      p.main_hourly = 0.09;  // headlines churn faster on news fronts
+      p.main_daily = 0.17;
+      p.main_stable = 0.59;
+      break;
+    case PageClass::Sports:
+      p.complexity = 0.95;
+      break;
+    case PageClass::Top100:
+      p.complexity = 0.55;
+      p.root_html_median = 55e3;
+      p.iframe_count = 2.2;
+      p.third_party_domains = 7;
+      break;
+    case PageClass::Mixed400:
+      p.complexity = 0.60;
+      p.root_html_median = 60e3;
+      p.iframe_count = 2.6;
+      p.third_party_domains = 8;
+      break;
+  }
+  return p;
+}
+
+PageModel generate_page(std::uint64_t corpus_seed, std::uint32_t page_id,
+                        PageClass cls) {
+  return generate_page(corpus_seed, page_id, cls,
+                       GeneratorParams::for_class(cls));
+}
+
+PageModel generate_page(std::uint64_t corpus_seed, std::uint32_t page_id,
+                        PageClass cls, const GeneratorParams& p) {
+  Rng rng(corpus_seed, std::string("page:") + page_class_name(cls) + ":" +
+                           std::to_string(page_id));
+  const std::string site = std::string(page_class_name(cls)) +
+                           std::to_string(page_id) + ".com";
+  PageModel page(page_id, cls, site);
+
+  Builder b{page, rng, p, {}, {}, {}};
+  b.first_party_domains.push_back(site);
+  for (int i = 0; i < p.first_party_shards; ++i) {
+    const std::string shard =
+        (i == 0 ? "static." : "img" + std::to_string(i) + ".") + site;
+    b.first_party_domains.push_back(shard);
+    page.add_first_party_domain(shard);
+  }
+  for (int i = 0; i < p.third_party_domains; ++i) {
+    // A shared global pool so popular third parties recur across sites.
+    const char* kinds[] = {"cdn", "ads", "analytics", "social", "tag"};
+    const std::string kind = kinds[rng.uniform_int(0, 4)];
+    const std::string dom =
+        kind + std::to_string(rng.uniform_int(0, 39)) + ".net";
+    b.third_party_domains.push_back(dom);
+    if (kind == "ads" || kind == "tag") b.ad_domains.push_back(dom);
+  }
+  if (b.ad_domains.empty()) b.ad_domains.push_back("ads0.net");
+
+  // Root HTML.
+  {
+    Resource root;
+    root.id = 0;
+    root.parent = -1;
+    root.type = ResourceType::Html;
+    root.base_size = std::max<std::int64_t>(
+        static_cast<std::int64_t>(
+            rng.lognormal(p.root_html_median, p.root_html_sigma)),
+        8000);
+    root.domain = site;
+    root.volatility = Volatility::Hourly;  // front pages re-render often
+    root.rotation_period = sim::minutes(30);
+    root.above_fold = true;
+    root.visual_weight = 1.0;
+    page.add(std::move(root));
+  }
+
+  populate_body(b, page, rng, p);
+  return page;
+}
+
+namespace {
+
+void populate_body(Builder& b, PageModel& page, Rng& rng,
+                   const GeneratorParams& p) {
+  const double cx = p.complexity;
+  auto scaled = [&](double mean) { return b.poisson_count(mean * cx); };
+
+  // CSS stylesheets.
+  const int n_css = std::max(1, scaled(p.css_count));
+  for (int i = 0; i < n_css; ++i) {
+    Resource r = b.make(0, ResourceType::Css, DiscoveryVia::HtmlTag,
+                        rng.uniform(0.02, 0.25),
+                        rng.lognormal(p.css_size_median, p.css_size_sigma),
+                        rng.chance(0.7) ? b.pick_first_party()
+                                        : b.pick_third_party(),
+                        false);
+    r.above_fold = true;
+    const std::uint32_t id = page.add(std::move(r));
+    const int nc = b.poisson_count(p.css_child_mean);
+    for (int j = 0; j < nc; ++j) {
+      const bool font = rng.chance(0.45);
+      page.add(b.make(static_cast<std::int32_t>(id),
+                      font ? ResourceType::Font : ResourceType::Image,
+                      DiscoveryVia::CssRef, 1.0,
+                      font ? rng.lognormal(p.font_size_median,
+                                           p.font_size_sigma)
+                           : rng.lognormal(p.image_size_median,
+                                           p.image_size_sigma),
+                      b.pick_first_party(), false));
+    }
+  }
+
+  // Synchronous scripts (block the parser at their document position).
+  std::vector<std::uint32_t> main_scripts;
+  const int n_sync = std::max(1, scaled(p.sync_js_count));
+  for (int i = 0; i < n_sync; ++i) {
+    Resource r = b.make(0, ResourceType::Js, DiscoveryVia::HtmlTag,
+                        rng.uniform(0.03, 0.85),
+                        rng.lognormal(p.js_size_median, p.js_size_sigma),
+                        rng.chance(0.55) ? b.pick_first_party()
+                                         : b.pick_third_party(),
+                        false);
+    r.blocks_parser = true;
+    const bool first_party = page.is_first_party_org(r.domain);
+    const std::uint32_t id = page.add(std::move(r));
+    if (first_party) main_scripts.push_back(id);
+    b.grow_js_subtree(id, false, 1);
+  }
+
+  // Async scripts.
+  const int n_async = scaled(p.async_js_count);
+  for (int i = 0; i < n_async; ++i) {
+    Resource r = b.make(0, ResourceType::Js, DiscoveryVia::HtmlTag,
+                        rng.uniform(0.1, 0.95),
+                        rng.lognormal(p.js_size_median, p.js_size_sigma),
+                        rng.chance(0.35) ? b.pick_first_party()
+                                         : b.pick_third_party(),
+                        false);
+    r.async = true;
+    const bool first_party = page.is_first_party_org(r.domain);
+    const std::uint32_t id = page.add(std::move(r));
+    if (first_party) main_scripts.push_back(id);
+    b.grow_js_subtree(id, false, 1);
+  }
+
+  // Images. A couple of above-the-fold hero images dominate the visual
+  // completeness metric; the rest are body/story images. A large fraction of
+  // content images is inserted by first-party template/lazy-load scripts —
+  // invisible to a preload scanner, found only by executing the script.
+  const int n_img = std::max(4, scaled(p.image_count));
+  const int n_hero = rng.chance(0.8) ? 2 : 1;
+  for (int i = 0; i < n_img; ++i) {
+    const bool hero = i < n_hero;
+    const double js_frac =
+        hero ? p.js_rendered_hero_frac : p.js_rendered_image_frac;
+    const bool js_rendered = !main_scripts.empty() && rng.chance(js_frac);
+    std::int32_t parent = 0;
+    DiscoveryVia via = DiscoveryVia::HtmlTag;
+    if (js_rendered) {
+      parent = static_cast<std::int32_t>(
+          main_scripts[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(main_scripts.size()) - 1))]);
+      via = DiscoveryVia::JsExec;
+    }
+    Resource r = b.make(
+        parent, ResourceType::Image, via,
+        hero ? rng.uniform(0.05, 0.2) : rng.uniform(0.1, 1.0),
+        hero ? rng.lognormal(p.hero_image_median, p.hero_image_sigma)
+             : rng.lognormal(p.image_size_median, p.image_size_sigma),
+        rng.chance(0.6) ? b.pick_first_party() : b.pick_third_party(), false);
+    r.above_fold = hero || r.discovery_offset < 0.35;
+    r.visual_weight = r.above_fold ? std::sqrt(
+                                         static_cast<double>(r.base_size))
+                                   : 0.0;
+    if (rng.chance(p.device_conditional_frac)) {
+      r.device_axis = static_cast<std::int8_t>(rng.uniform_int(0, 2));
+    }
+    page.add(std::move(r));
+  }
+
+  // Fonts referenced directly from the root document.
+  const int n_font = scaled(p.font_count);
+  for (int i = 0; i < n_font; ++i) {
+    page.add(b.make(0, ResourceType::Font, DiscoveryVia::HtmlTag,
+                    rng.uniform(0.05, 0.4),
+                    rng.lognormal(p.font_size_median, p.font_size_sigma),
+                    b.pick_first_party(), false));
+  }
+
+  // Ad iframes.
+  const int n_iframe = scaled(p.iframe_count);
+  for (int i = 0; i < n_iframe; ++i) {
+    const bool via_js = rng.chance(0.5);  // many ad slots are JS-injected
+    if (via_js) {
+      Resource loader = b.make(0, ResourceType::Js, DiscoveryVia::HtmlTag,
+                               rng.uniform(0.2, 0.9),
+                               rng.lognormal(12e3, 0.6), b.pick_ad_domain(),
+                               false);
+      loader.async = true;
+      const std::uint32_t id = page.add(std::move(loader));
+      // Ad scripts commonly defer iframe insertion past the load event so
+      // the ad auction cannot hurt the page's load metrics.
+      b.grow_iframe(static_cast<std::int32_t>(id), DiscoveryVia::JsExec,
+                    rng.uniform(0.7, 1.0), 1,
+                    /*post_onload=*/rng.chance(0.55));
+    } else {
+      b.grow_iframe(0, DiscoveryVia::HtmlTag, rng.uniform(0.3, 1.0), 1);
+    }
+  }
+}
+
+// Site-wide infrastructure slots shared by every page of the site: built
+// from a site-scoped random stream so sibling pages produce *identical*
+// resources (ids, domains, sizes, rotation phases) whose realized URLs
+// therefore match across pages.
+void add_shared_infra(Builder& b, PageModel& page, Rng& site_rng,
+                      const GeneratorParams& p, std::uint32_t site_id) {
+  const std::uint32_t override_id = 1'000'000 + site_id;
+  struct Slot {
+    ResourceType type;
+    double median, sigma;
+    bool sync_js = false;
+  };
+  const Slot slots[] = {
+      {ResourceType::Css, p.css_size_median * 1.4, 0.5},
+      {ResourceType::Css, p.css_size_median, 0.5},
+      {ResourceType::Js, p.js_size_median * 2.0, 0.5, true},  // framework
+      {ResourceType::Js, p.js_size_median, 0.5, true},
+      {ResourceType::Js, p.js_size_median, 0.5},
+      {ResourceType::Font, p.font_size_median, 0.3},
+      {ResourceType::Font, p.font_size_median, 0.3},
+      {ResourceType::Image, 9e3, 0.4},  // logo/sprite assets
+      {ResourceType::Image, 6e3, 0.4},
+  };
+  auto make_shared = [&](std::int32_t parent, ResourceType type,
+                         DiscoveryVia via, double median, double sigma,
+                         bool sync_js) {
+    Resource r = b.make(parent, type, via, site_rng.uniform(0.02, 0.3),
+                        site_rng.lognormal(median, sigma),
+                        b.pick_first_party(), false);
+    r.volatility = Volatility::Stable;
+    r.rotation_period = sim::days(60);
+    r.rotation_phase =
+        sim::from_seconds(site_rng.uniform(0.0, 60.0 * 86400.0));
+    r.blocks_parser = sync_js;
+    r.async = type == ResourceType::Js && !sync_js;
+    r.cacheable = true;
+    r.max_age = sim::days(7);
+    r.url_page_override = override_id;
+    return page.add(std::move(r));
+  };
+
+  for (const Slot& slot : slots) {
+    const std::uint32_t id = make_shared(0, slot.type, DiscoveryVia::HtmlTag,
+                                         slot.median, slot.sigma,
+                                         slot.sync_js);
+    // The framework script pulls in shared polyfills/sprites at runtime and
+    // the stylesheets reference shared fonts/background art — none of it
+    // visible to an online HTML scan, which is exactly what cross-page
+    // offline resolution recovers.
+    if (slot.type == ResourceType::Js && slot.sync_js) {
+      for (int c = 0; c < 3; ++c) {
+        const bool js = c == 0;
+        make_shared(static_cast<std::int32_t>(id),
+                    js ? ResourceType::Js : ResourceType::Image,
+                    DiscoveryVia::JsExec, js ? p.js_size_median : 7e3, 0.4,
+                    false);
+      }
+    } else if (slot.type == ResourceType::Css) {
+      for (int c = 0; c < 2; ++c) {
+        const bool font = c == 0;
+        make_shared(static_cast<std::int32_t>(id),
+                    font ? ResourceType::Font : ResourceType::Image,
+                    DiscoveryVia::CssRef, font ? p.font_size_median : 8e3,
+                    0.3, false);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PageModel> generate_site_pages(std::uint64_t corpus_seed,
+                                           std::uint32_t site_id,
+                                           PageClass cls, int n_pages) {
+  std::vector<PageModel> pages;
+  pages.reserve(static_cast<std::size_t>(n_pages));
+  GeneratorParams p = GeneratorParams::for_class(cls);
+  // Shared infra replaces part of each page's own CSS/JS budget.
+  p.css_count = std::max(1.0, p.css_count - 2);
+  p.sync_js_count = std::max(1.0, p.sync_js_count - 2);
+  p.font_count = std::max(0.0, p.font_count - 2);
+
+  const std::string site = std::string(page_class_name(cls)) + "site" +
+                           std::to_string(site_id) + ".com";
+  for (int i = 0; i < n_pages; ++i) {
+    const auto page_id =
+        static_cast<std::uint32_t>(500'000 + site_id * 1'000 +
+                                   static_cast<std::uint32_t>(i));
+    Rng rng(corpus_seed, "sitepage:" + std::to_string(site_id) + ":" +
+                             std::to_string(i));
+    PageModel page(page_id, cls, site);
+
+    Builder b{page, rng, p, {}, {}, {}};
+    b.first_party_domains.push_back(site);
+    for (int s = 0; s < p.first_party_shards; ++s) {
+      const std::string shard =
+          (s == 0 ? "static." : "img" + std::to_string(s) + ".") + site;
+      b.first_party_domains.push_back(shard);
+      page.add_first_party_domain(shard);
+    }
+    for (int t = 0; t < p.third_party_domains; ++t) {
+      const char* kinds[] = {"cdn", "ads", "analytics", "social", "tag"};
+      const std::string kind = kinds[rng.uniform_int(0, 4)];
+      const std::string dom =
+          kind + std::to_string(rng.uniform_int(0, 39)) + ".net";
+      b.third_party_domains.push_back(dom);
+      if (kind == "ads" || kind == "tag") b.ad_domains.push_back(dom);
+    }
+    if (b.ad_domains.empty()) b.ad_domains.push_back("ads0.net");
+
+    Resource root;
+    root.id = 0;
+    root.parent = -1;
+    root.type = ResourceType::Html;
+    root.base_size = std::max<std::int64_t>(
+        static_cast<std::int64_t>(
+            rng.lognormal(p.root_html_median, p.root_html_sigma)),
+        8000);
+    root.domain = site;
+    root.volatility = Volatility::Hourly;
+    root.rotation_period = sim::minutes(30);
+    root.above_fold = true;
+    root.visual_weight = 1.0;
+    page.add(std::move(root));
+
+    // Identical shared block, via a fresh site-scoped stream each time.
+    Rng site_rng(corpus_seed, "site-shared:" + std::to_string(site_id));
+    Builder shared{page, site_rng, p, b.first_party_domains,
+                   b.third_party_domains, b.ad_domains};
+    add_shared_infra(shared, page, site_rng, p, site_id);
+
+    populate_body(b, page, rng, p);
+    pages.push_back(std::move(page));
+  }
+  return pages;
+}
+
+}  // namespace vroom::web

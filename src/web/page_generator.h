@@ -1,0 +1,111 @@
+// Synthetic page generator calibrated to the paper's measured corpus.
+//
+// Calibration targets (paper §2, §4.1, §6.2 and HTTP Archive figures cited
+// there):
+//   * ~100 resources on the average mobile page; News/Sports pages larger
+//   * resources spread across tens of domains, mostly third-party
+//   * processable resources (HTML/CSS/JS) ~= 25 % of page bytes
+//   * ~22 % of a page's URLs change across back-to-back loads (ads)
+//   * ~70 % of resources persist over one hour, ~50 % over one week
+//   * most per-load churn lives inside third-party iframes (ad chains), so
+//     the root-HTML-derived, non-iframe "predictable" subset is > 80 % of
+//     resources and > 95 % of bytes (Fig 21a)
+// The generator is deterministic per (corpus seed, page id).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "web/page_model.h"
+
+namespace vroom::web {
+
+struct GeneratorParams {
+  // Scale knob: 1.0 for News/Sports-class pages, ~0.55 for the average
+  // top-100 page.
+  double complexity = 1.0;
+
+  // Root HTML size (lognormal median / sigma).
+  double root_html_median = 90e3;
+  double root_html_sigma = 0.45;
+
+  // Direct children of the root (means; actual counts are randomized).
+  double css_count = 6;
+  double sync_js_count = 6;
+  double async_js_count = 5;
+  double image_count = 48;
+  double font_count = 3;
+  double iframe_count = 4;
+
+  // Subtree growth. Ad/analytics chains are deep: scripts load scripts that
+  // load trackers — none of it visible to a preload scanner.
+  double js_child_prob = 0.70;   // a script spawns children at all
+  double js_child_mean = 2.2;    // children per spawning script
+  double css_child_mean = 0.8;
+  double iframe_js_mean = 1.5;
+  double iframe_image_mean = 3.0;
+  double nested_iframe_prob = 0.35;
+  int max_depth = 6;
+
+  // Sizes (lognormal medians in bytes / sigmas).
+  double css_size_median = 14e3, css_size_sigma = 0.8;
+  double js_size_median = 18e3, js_size_sigma = 0.8;
+  // Chain scripts are ad/analytics libraries (gpt.js-class): heavyweight,
+  // discovered only by executing their parent. Chain images stay light
+  // (pixels, creatives).
+  double chain_js_median = 14e3, chain_js_sigma = 0.8;
+  double chain_image_median = 4e3, chain_image_sigma = 0.9;
+  double image_size_median = 11e3, image_size_sigma = 1.1;
+  double hero_image_median = 140e3, hero_image_sigma = 0.5;
+  double font_size_median = 28e3, font_size_sigma = 0.4;
+  double iframe_html_median = 14e3, iframe_html_sigma = 0.6;
+
+  // Volatility mix for main-document (non-iframe) resources. Infrastructure
+  // types (CSS/JS/fonts) are biased further toward Stable in the generator.
+  double main_stable = 0.60;
+  double main_daily = 0.18;
+  double main_hourly = 0.07;
+  double main_perload = 0.10;
+  double main_personalized = 0.05;
+
+  // Volatility mix inside iframes (ad content).
+  double iframe_stable = 0.22;
+  double iframe_hourly = 0.18;
+  double iframe_perload = 0.55;
+  double iframe_personalized = 0.05;
+
+  // Fraction of main-document images customized per device axis.
+  double device_conditional_frac = 0.13;
+
+  // Fraction of content images inserted by first-party template/lazy-load
+  // scripts rather than written in the root markup — invisible to a preload
+  // scanner, discovered only by executing the script.
+  double js_rendered_image_frac = 0.40;
+  double js_rendered_hero_frac = 0.30;
+
+  // Cacheability.
+  double cacheable_frac = 0.90;
+
+  // Domains. A handful of third parties (ad exchanges, CDNs, analytics)
+  // serve most third-party bytes, concentrating per-domain request load.
+  int first_party_shards = 2;   // static./img. shards owned by first party
+  int third_party_domains = 9;  // distinct third parties touched by the page
+
+  static GeneratorParams for_class(PageClass cls);
+};
+
+// Generates the dependency-tree template for one page.
+PageModel generate_page(std::uint64_t corpus_seed, std::uint32_t page_id,
+                        PageClass cls);
+PageModel generate_page(std::uint64_t corpus_seed, std::uint32_t page_id,
+                        PageClass cls, const GeneratorParams& params);
+
+// Generates `n_pages` pages of one site that share an infrastructure slot
+// set (site-wide CSS, framework JS, fonts, logo assets) with identical URLs
+// across siblings — the structure exploited by cross-page offline
+// dependency resolution (§7 of the paper).
+std::vector<PageModel> generate_site_pages(std::uint64_t corpus_seed,
+                                           std::uint32_t site_id,
+                                           PageClass cls, int n_pages);
+
+}  // namespace vroom::web

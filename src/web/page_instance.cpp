@@ -1,0 +1,118 @@
+#include "web/page_instance.h"
+
+#include <cassert>
+
+#include "sim/random.h"
+
+namespace vroom::web {
+namespace {
+
+// Low bits of the realized version encode the device variant so that the
+// same slot yields distinct URLs per device bucket.
+constexpr std::uint64_t kDeviceVariantSpace = 8;
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  return sim::derive_seed(a, "mix") ^ sim::derive_seed(b, "mix2");
+}
+
+}  // namespace
+
+std::uint64_t rotation_version(const Resource& r, sim::Time wall_time) {
+  switch (r.volatility) {
+    case Volatility::Stable:
+    case Volatility::Daily:
+    case Volatility::Hourly:
+    case Volatility::Personalized: {
+      assert(r.rotation_period > 0);
+      const sim::Time t = wall_time + r.rotation_phase;
+      return static_cast<std::uint64_t>(t / r.rotation_period);
+    }
+    case Volatility::PerLoad:
+      return 0;  // caller folds the nonce in
+  }
+  return 0;
+}
+
+std::int64_t realized_size(const Resource& r, std::uint64_t version) {
+  // +/-15 % deterministic jitter so rotated content has a slightly different
+  // weight, as real story images do.
+  const std::uint64_t h = mix(version, r.id);
+  const double jitter = 0.85 + 0.30 * (static_cast<double>(h % 10007) / 10007.0);
+  std::int64_t s = static_cast<std::int64_t>(r.base_size * jitter);
+  return s < 64 ? 64 : s;
+}
+
+namespace {
+
+std::uint64_t full_version_of(const Resource& r, const LoadIdentity& id) {
+  std::uint64_t version;
+  if (r.volatility == Volatility::PerLoad) {
+    // Unpredictable across back-to-back loads: version derives from the
+    // load nonce, so equal nonces (the same load) agree and different
+    // nonces differ.
+    version = sim::derive_seed(id.nonce, "perload") % 1000000007ULL;
+    version = mix(version, r.id) % 1000000007ULL;
+  } else {
+    version = rotation_version(r, id.wall_time);
+  }
+  std::uint64_t variant = 0;
+  if (r.device_axis >= 0) {
+    variant = static_cast<std::uint64_t>(id.device.axis_value(
+                  static_cast<DeviceAxis>(r.device_axis))) + 1;
+  }
+  return version * kDeviceVariantSpace + variant;
+}
+
+}  // namespace
+
+std::string realize_url(const PageModel& model, const Resource& r,
+                        const LoadIdentity& id) {
+  const std::uint64_t full_version = full_version_of(r, id);
+  const std::uint32_t user_part =
+      r.volatility == Volatility::Personalized ? id.user : 0;
+  return make_url(r.domain, r.effective_page_id(model.page_id()), r.id,
+                  full_version, user_part, type_ext(r.type));
+}
+
+PageInstance::PageInstance(const PageModel& model, const LoadIdentity& id)
+    : model_(&model), id_(id) {
+  resources_.reserve(model.size());
+  for (const Resource& r : model.resources()) {
+    const std::uint64_t full_version = full_version_of(r, id);
+    InstanceResource ir;
+    ir.template_id = r.id;
+    ir.url = realize_url(model, r, id);
+    ir.size = realized_size(r, full_version);
+    by_url_.emplace(ir.url, r.id);
+    resources_.push_back(std::move(ir));
+  }
+}
+
+std::optional<std::uint32_t> PageInstance::find_by_url(
+    const std::string& url) const {
+  auto it = by_url_.find(url);
+  if (it == by_url_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> PageInstance::url_set() const {
+  std::vector<std::string> out;
+  out.reserve(resources_.size());
+  for (const auto& r : resources_) out.push_back(r.url);
+  return out;
+}
+
+std::optional<std::int64_t> servable_size(const PageModel& model,
+                                          const std::string& url) {
+  auto parsed = parse_url(url);
+  if (!parsed) return std::nullopt;
+  if (parsed->resource_id >= model.size()) return std::nullopt;
+  const Resource& r = model.resource(parsed->resource_id);
+  if (parsed->page_id != r.effective_page_id(model.page_id())) {
+    return std::nullopt;
+  }
+  if (r.domain != parsed->domain) return std::nullopt;
+  return realized_size(r, parsed->version);
+}
+
+}  // namespace vroom::web

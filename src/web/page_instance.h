@@ -1,0 +1,87 @@
+// Realization of a PageModel at a concrete (wall time, device, user, load).
+//
+// Realization turns each resource slot into a concrete URL and size by
+// applying its volatility class:
+//   Stable/Daily/Hourly : version = (time + phase) / rotation_period
+//   PerLoad             : version derived from the load nonce (never repeats)
+//   Personalized        : hour-scale version plus a per-user URL component
+// Device-conditional slots additionally embed the device's value on the
+// customization axis. Two instances "share" a resource iff the realized URLs
+// match — the same set-intersection semantics the paper uses for page
+// persistence (Fig 7), device similarity (Fig 9), and server accuracy
+// (Fig 21).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+#include "web/device.h"
+#include "web/page_model.h"
+#include "web/url.h"
+
+namespace vroom::web {
+
+struct LoadIdentity {
+  sim::Time wall_time = 0;
+  DeviceProfile device;
+  std::uint32_t user = 0;  // 0 = generic/no cookie
+  std::uint64_t nonce = 0; // distinguishes back-to-back loads
+};
+
+struct InstanceResource {
+  std::uint32_t template_id = 0;
+  std::string url;
+  std::int64_t size = 0;
+};
+
+// Computes the realized rotation version of a resource at a wall time.
+std::uint64_t rotation_version(const Resource& r, sim::Time wall_time);
+
+// Realized size: base size with deterministic per-version jitter.
+std::int64_t realized_size(const Resource& r, std::uint64_t version);
+
+// Realizes one slot's URL under an identity. Exposed so server-side offline
+// resolution can realize with the knowledge a *server* has (its own domain's
+// cookie, an emulated device, its own load nonce).
+std::string realize_url(const PageModel& model, const Resource& r,
+                        const LoadIdentity& id);
+
+class PageInstance {
+ public:
+  PageInstance(const PageModel& model, const LoadIdentity& id);
+
+  const PageModel& model() const { return *model_; }
+  const LoadIdentity& identity() const { return id_; }
+
+  const InstanceResource& resource(std::uint32_t id) const {
+    return resources_[id];
+  }
+  const std::vector<InstanceResource>& resources() const { return resources_; }
+  std::size_t size() const { return resources_.size(); }
+
+  // Finds the template id behind a realized URL of *this* instance, or
+  // nullopt for URLs of other instances (stale hints) / unknown URLs.
+  std::optional<std::uint32_t> find_by_url(const std::string& url) const;
+
+  // Set of realized URLs (for persistence / accuracy set arithmetic).
+  std::vector<std::string> url_set() const;
+
+ private:
+  const PageModel* model_;
+  LoadIdentity id_;
+  std::vector<InstanceResource> resources_;
+  std::unordered_map<std::string, std::uint32_t> by_url_;
+};
+
+// Realizes the URL + size a given (possibly stale) request would resolve to
+// on the origin: any syntactically valid URL for a known resource id is
+// servable, with size derived from the embedded version. Returns nullopt if
+// the URL does not belong to `model`.
+std::optional<std::int64_t> servable_size(const PageModel& model,
+                                          const std::string& url);
+
+}  // namespace vroom::web

@@ -1,0 +1,97 @@
+#include "web/page_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vroom::web {
+
+const char* page_class_name(PageClass c) {
+  switch (c) {
+    case PageClass::Top100: return "top100";
+    case PageClass::News: return "news";
+    case PageClass::Sports: return "sports";
+    case PageClass::Mixed400: return "mixed400";
+  }
+  return "?";
+}
+
+PageModel::PageModel(std::uint32_t page_id, PageClass cls,
+                     std::string first_party)
+    : page_id_(page_id), cls_(cls), first_party_(std::move(first_party)) {
+  first_party_group_.push_back(first_party_);
+}
+
+bool PageModel::is_first_party_org(const std::string& domain) const {
+  return std::find(first_party_group_.begin(), first_party_group_.end(),
+                   domain) != first_party_group_.end();
+}
+
+std::uint32_t PageModel::add(Resource r) {
+  const auto id = static_cast<std::uint32_t>(resources_.size());
+  assert(r.id == id);
+  assert(r.parent < static_cast<std::int32_t>(id));
+  resources_.push_back(std::move(r));
+  children_.emplace_back();
+  if (resources_.back().parent >= 0) {
+    children_[static_cast<std::size_t>(resources_.back().parent)].push_back(id);
+  }
+  return id;
+}
+
+std::int64_t PageModel::total_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto& r : resources_) sum += r.base_size;
+  return sum;
+}
+
+std::int64_t PageModel::processable_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto& r : resources_) {
+    if (is_processable(r.type)) sum += r.base_size;
+  }
+  return sum;
+}
+
+std::vector<std::uint32_t> PageModel::hintable_descendants(
+    std::uint32_t doc_id) const {
+  std::vector<std::uint32_t> out;
+  // Preorder walk; children visited in discovery-offset order so `out` is
+  // the order the client will process the resources (Table 1 requirement).
+  std::vector<std::uint32_t> stack;
+  auto push_children = [&](std::uint32_t id) {
+    std::vector<std::uint32_t> kids = children_[id];
+    std::sort(kids.begin(), kids.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const double oa = resources_[a].discovery_offset;
+      const double ob = resources_[b].discovery_offset;
+      if (oa != ob) return oa > ob;  // reversed: stack pops smallest first
+      return a > b;
+    });
+    for (std::uint32_t k : kids) stack.push_back(k);
+  };
+  push_children(doc_id);
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    // Prune below embedded HTML documents.
+    if (resources_[id].type == ResourceType::Html) continue;
+    push_children(id);
+  }
+  return out;
+}
+
+bool PageModel::in_post_onload_subtree(std::uint32_t id) const {
+  for (std::int32_t cur = static_cast<std::int32_t>(id); cur >= 0;
+       cur = resources_[static_cast<std::size_t>(cur)].parent) {
+    if (resources_[static_cast<std::size_t>(cur)].post_onload) return true;
+  }
+  return false;
+}
+
+int PageModel::chain_depth(std::uint32_t id) const {
+  int best = 0;
+  for (std::uint32_t c : children_[id]) best = std::max(best, chain_depth(c));
+  return best + 1;
+}
+
+}  // namespace vroom::web

@@ -1,0 +1,52 @@
+#include "web/resource.h"
+
+namespace vroom::web {
+
+const char* type_name(ResourceType t) {
+  switch (t) {
+    case ResourceType::Html: return "html";
+    case ResourceType::Css: return "css";
+    case ResourceType::Js: return "js";
+    case ResourceType::Image: return "image";
+    case ResourceType::Font: return "font";
+    case ResourceType::Media: return "media";
+    case ResourceType::Other: return "other";
+  }
+  return "?";
+}
+
+const char* type_ext(ResourceType t) {
+  switch (t) {
+    case ResourceType::Html: return "html";
+    case ResourceType::Css: return "css";
+    case ResourceType::Js: return "js";
+    case ResourceType::Image: return "jpg";
+    case ResourceType::Font: return "woff";
+    case ResourceType::Media: return "mp4";
+    case ResourceType::Other: return "bin";
+  }
+  return "bin";
+}
+
+ResourceType type_from_ext(std::string_view ext) {
+  if (ext == "html") return ResourceType::Html;
+  if (ext == "css") return ResourceType::Css;
+  if (ext == "js") return ResourceType::Js;
+  if (ext == "jpg") return ResourceType::Image;
+  if (ext == "woff") return ResourceType::Font;
+  if (ext == "mp4") return ResourceType::Media;
+  return ResourceType::Other;
+}
+
+const char* volatility_name(Volatility v) {
+  switch (v) {
+    case Volatility::Stable: return "stable";
+    case Volatility::Daily: return "daily";
+    case Volatility::Hourly: return "hourly";
+    case Volatility::PerLoad: return "per-load";
+    case Volatility::Personalized: return "personalized";
+  }
+  return "?";
+}
+
+}  // namespace vroom::web

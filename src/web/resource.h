@@ -1,0 +1,107 @@
+// Template description of one resource in a page's dependency tree.
+//
+// A `Resource` is a *slot*: its realized URL (and thus whether two loads of
+// the page fetch "the same" resource) depends on volatility class, wall-clock
+// time, user, and load nonce — realized by `PageInstance`. This split is what
+// lets one generator drive both the page-evolution measurements (Figure 7)
+// and Vroom's server-side accuracy results (Figure 21), as in the real study.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace vroom::web {
+
+enum class ResourceType : std::uint8_t {
+  Html,
+  Css,
+  Js,
+  Image,
+  Font,
+  Media,
+  Other,
+};
+
+// Resources that the browser must parse or execute; the 25 %-of-bytes class
+// Vroom prioritizes (§4.3).
+constexpr bool is_processable(ResourceType t) {
+  return t == ResourceType::Html || t == ResourceType::Css ||
+         t == ResourceType::Js;
+}
+
+const char* type_name(ResourceType t);
+const char* type_ext(ResourceType t);
+ResourceType type_from_ext(std::string_view ext);
+
+// How the parent reveals this resource during processing. Drives what the
+// server's online HTML scan can see (HtmlTag only) versus what requires
+// executing scripts (JsExec) or parsing stylesheets (CssRef).
+enum class DiscoveryVia : std::uint8_t { HtmlTag, CssRef, JsExec };
+
+// Rotation behaviour of the realized URL over time.
+enum class Volatility : std::uint8_t {
+  Stable,        // rotates on a multi-week timescale
+  Daily,         // story images, section content
+  Hourly,        // headlines, trending modules
+  PerLoad,       // ad cache-busters: different on every load
+  Personalized,  // varies per user (and slowly over time)
+};
+
+const char* volatility_name(Volatility v);
+
+struct Resource {
+  std::uint32_t id = 0;
+  std::int32_t parent = -1;  // -1 for the root HTML
+  ResourceType type = ResourceType::Other;
+  DiscoveryVia via = DiscoveryVia::HtmlTag;
+  // Fraction of the parent's processing at which this child is revealed.
+  double discovery_offset = 0.0;
+  std::int64_t base_size = 0;  // bytes; realized size jitters per version
+  std::string domain;
+  Volatility volatility = Volatility::Stable;
+  // Rotation period for time-driven volatility classes (ignored for
+  // PerLoad). Phase decorrelates resources sharing a period.
+  sim::Time rotation_period = sim::days(30);
+  sim::Time rotation_phase = 0;
+
+  bool is_iframe_doc = false;  // embedded HTML document (type == Html)
+  bool in_iframe = false;      // this resource or an ancestor is iframe content
+  // Ad units injected after the load event (common for JS-placed iframes so
+  // ads do not hurt the page's load metrics). Never gates onload/AFT.
+  bool post_onload = false;
+  // Tracking beacons / pixels created by scripts but never inserted into the
+  // DOM: fetched during the load, but the load event does not wait for them.
+  bool blocks_onload = true;
+  bool async = false;          // async script / non-render-blocking CSS
+  bool blocks_parser = false;  // synchronous <script> in document order
+
+  bool cacheable = false;
+  sim::Time max_age = 0;
+
+  bool above_fold = false;
+  double visual_weight = 0.0;  // contribution to Speed Index completeness
+
+  // Site-shared infrastructure slot (stylesheets, framework JS, logo assets
+  // common to every page of a site/page-type): the realized URL embeds this
+  // site-level id instead of the page id, so the *same URL* appears on every
+  // sibling page. Enables cross-page offline dependency resolution (§7).
+  static constexpr std::uint32_t kNoPageOverride = 0xffffffff;
+  std::uint32_t url_page_override = kNoPageOverride;
+
+  std::uint32_t effective_page_id(std::uint32_t model_page_id) const {
+    return url_page_override == kNoPageOverride ? model_page_id
+                                                : url_page_override;
+  }
+
+  // Device customization: -1 means the resource is identical on all devices;
+  // otherwise the realized URL carries a variant equal to the device's value
+  // on this axis (different-resolution image for tablets, etc.).
+  std::int8_t device_axis = -1;
+  // True if the domain that personalizes this resource is the same
+  // organization as the page's first party (see §4.2 discussion).
+  bool first_party_personalized = false;
+};
+
+}  // namespace vroom::web

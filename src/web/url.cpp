@@ -1,0 +1,70 @@
+#include "web/url.h"
+
+#include <charconv>
+
+namespace vroom::web {
+namespace {
+
+// Parses an unsigned integer starting at `pos`; advances `pos` past it.
+template <typename T>
+bool parse_uint(std::string_view s, std::size_t& pos, T& out) {
+  const char* begin = s.data() + pos;
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr == begin) return false;
+  pos += static_cast<std::size_t>(ptr - begin);
+  return true;
+}
+
+}  // namespace
+
+std::string make_url(std::string_view domain, std::uint32_t page_id,
+                     std::uint32_t resource_id, std::uint64_t version,
+                     std::uint32_t user, std::string_view ext) {
+  std::string url;
+  url.reserve(domain.size() + ext.size() + 32);
+  url.append(domain);
+  url.append("/p").append(std::to_string(page_id));
+  url.append("/r").append(std::to_string(resource_id));
+  url.append("v").append(std::to_string(version));
+  if (user != 0) url.append("u").append(std::to_string(user));
+  url.push_back('.');
+  url.append(ext);
+  return url;
+}
+
+std::optional<ParsedUrl> parse_url(std::string_view url) {
+  const std::size_t slash = url.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  ParsedUrl p;
+  p.domain = std::string(url.substr(0, slash));
+  std::size_t pos = slash + 1;
+  if (pos >= url.size() || url[pos] != 'p') return std::nullopt;
+  ++pos;
+  if (!parse_uint(url, pos, p.page_id)) return std::nullopt;
+  if (pos >= url.size() || url[pos] != '/') return std::nullopt;
+  ++pos;
+  if (pos >= url.size() || url[pos] != 'r') return std::nullopt;
+  ++pos;
+  if (!parse_uint(url, pos, p.resource_id)) return std::nullopt;
+  if (pos >= url.size() || url[pos] != 'v') return std::nullopt;
+  ++pos;
+  if (!parse_uint(url, pos, p.version)) return std::nullopt;
+  if (pos < url.size() && url[pos] == 'u') {
+    ++pos;
+    if (!parse_uint(url, pos, p.user)) return std::nullopt;
+  }
+  if (pos >= url.size() || url[pos] != '.') return std::nullopt;
+  ++pos;
+  p.ext = std::string(url.substr(pos));
+  if (p.ext.empty()) return std::nullopt;
+  return p;
+}
+
+std::string url_domain(std::string_view url) {
+  const std::size_t slash = url.find('/');
+  return std::string(slash == std::string_view::npos ? url
+                                                     : url.substr(0, slash));
+}
+
+}  // namespace vroom::web

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/strategies.h"
+#include "browser/browser.h"
+#include "browser/cache.h"
+#include "browser/metrics.h"
+#include "browser/task_queue.h"
+#include "harness/experiment.h"
+#include "web/page_generator.h"
+
+namespace vroom::browser {
+namespace {
+
+TEST(TaskQueueTest, RunsTasksSerially) {
+  sim::EventLoop loop;
+  TaskQueue q(loop);
+  sim::Time t1 = -1, t2 = -1;
+  q.post(sim::ms(10), TaskPriority::Parse, [&] { t1 = loop.now(); });
+  q.post(sim::ms(5), TaskPriority::Parse, [&] { t2 = loop.now(); });
+  loop.run();
+  EXPECT_EQ(t1, sim::ms(10));
+  EXPECT_EQ(t2, sim::ms(15));
+  EXPECT_EQ(q.total_busy(), sim::ms(15));
+}
+
+TEST(TaskQueueTest, PriorityPreemptsQueueNotRunningTask) {
+  sim::EventLoop loop;
+  TaskQueue q(loop);
+  std::vector<int> order;
+  q.post(sim::ms(10), TaskPriority::Parse, [&] { order.push_back(0); });
+  q.post(sim::ms(10), TaskPriority::ImageDecode, [&] { order.push_back(1); });
+  q.post(sim::ms(10), TaskPriority::Scheduler, [&] { order.push_back(2); });
+  loop.run();
+  // Task 0 was already running; then the scheduler callback outranks the
+  // image decode.
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(TaskQueueTest, ObserverSeesBusyTransitions) {
+  sim::EventLoop loop;
+  TaskQueue q(loop);
+  std::vector<bool> transitions;
+  q.set_state_observer([&](bool busy) { transitions.push_back(busy); });
+  q.post(sim::ms(1), TaskPriority::Parse, [] {});
+  loop.run();
+  EXPECT_EQ(transitions, (std::vector<bool>{true, false}));
+}
+
+TEST(CacheTest, FreshnessWindow) {
+  Cache c;
+  c.insert("u", 100, sim::hours(1), sim::minutes(10));
+  EXPECT_TRUE(c.fresh("u", sim::hours(1) + sim::minutes(5)));
+  EXPECT_FALSE(c.fresh("u", sim::hours(1) + sim::minutes(15)));
+  EXPECT_TRUE(c.has("u"));
+  EXPECT_FALSE(c.has("v"));
+}
+
+TEST(CacheTest, UncacheableNotStored) {
+  Cache c;
+  c.insert("u", 100, 0, 0);
+  EXPECT_FALSE(c.has("u"));
+}
+
+TEST(MetricsTest, SpeedIndexWeightsRenderTimes) {
+  // Two paints: weight 1 at 1s, weight 3 at 2s -> SI = 0.25*1000 + 0.75*2000.
+  const double si = speed_index_ms(
+      {{sim::seconds(1), 1.0}, {sim::seconds(2), 3.0}});
+  EXPECT_NEAR(si, 1750.0, 1e-6);
+  EXPECT_EQ(speed_index_ms({}), 0.0);
+}
+
+// End-to-end single-page loads via the harness composer.
+class BrowserLoadTest : public ::testing::Test {
+ protected:
+  BrowserLoadTest() : page_(web::generate_page(42, 7, web::PageClass::News)) {}
+
+  // Resources expected to load before onload (everything outside post-onload
+  // ad subtrees).
+  int expected_referenced() const {
+    int n = 0;
+    for (const auto& r : page_.resources()) {
+      if (!page_.in_post_onload_subtree(r.id)) ++n;
+    }
+    return n;
+  }
+
+  web::PageModel page_;
+  harness::RunOptions opt_;
+};
+
+TEST_F(BrowserLoadTest, Http2LoadFinishes) {
+  auto r = harness::run_page_load(page_, baselines::http2_baseline(), opt_, 1);
+  ASSERT_TRUE(r.finished);
+  EXPECT_GT(r.plt, sim::seconds(1));
+  EXPECT_LT(r.plt, sim::seconds(60));
+  EXPECT_GT(r.bytes_fetched, 100'000);
+  EXPECT_GT(r.requests, 20);
+}
+
+TEST_F(BrowserLoadTest, EveryReferencedResourceCompletes) {
+  auto r = harness::run_page_load(page_, baselines::http2_baseline(), opt_, 1);
+  ASSERT_TRUE(r.finished);
+  int referenced = 0;
+  for (const auto& t : r.timings) {
+    if (!t.referenced) continue;
+    ++referenced;
+    EXPECT_NE(t.discovered, sim::kNever) << t.url;
+    ASSERT_TRUE(t.template_id.has_value()) << t.url;
+    if (!page_.resource(*t.template_id).blocks_onload) {
+      continue;  // beacons may still be in flight when onload fires
+    }
+    EXPECT_NE(t.complete, sim::kNever) << t.url;
+    EXPECT_NE(t.processed, sim::kNever) << t.url;
+    EXPECT_LE(t.discovered, t.complete) << t.url;
+    EXPECT_LE(t.complete, t.processed) << t.url;
+  }
+  // Everything outside post-onload ad subtrees should be referenced.
+  EXPECT_EQ(referenced, expected_referenced());
+}
+
+TEST_F(BrowserLoadTest, MilestonesAreOrdered) {
+  auto r = harness::run_page_load(page_, baselines::http2_baseline(), opt_, 1);
+  ASSERT_TRUE(r.finished);
+  EXPECT_NE(r.ttfb, sim::kNever);
+  EXPECT_NE(r.first_paint, sim::kNever);
+  EXPECT_NE(r.dom_content_loaded, sim::kNever);
+  EXPECT_GT(r.ttfb, 0);
+  EXPECT_LT(r.ttfb, r.first_paint);
+  EXPECT_LE(r.first_paint, r.aft);
+  EXPECT_LE(r.dom_content_loaded, r.plt);
+  EXPECT_LE(r.aft, r.plt);
+}
+
+TEST_F(BrowserLoadTest, AftAndSpeedIndexWithinPlt) {
+  auto r = harness::run_page_load(page_, baselines::http2_baseline(), opt_, 1);
+  ASSERT_TRUE(r.finished);
+  EXPECT_GT(r.aft, 0);
+  EXPECT_LE(r.aft, r.plt);
+  EXPECT_GT(r.speed_index_ms, 0);
+  EXPECT_LE(r.speed_index_ms, sim::to_ms(r.plt));
+}
+
+TEST_F(BrowserLoadTest, NetWaitPositiveUnderBaseline) {
+  auto r = harness::run_page_load(page_, baselines::http2_baseline(), opt_, 1);
+  ASSERT_TRUE(r.finished);
+  EXPECT_GT(r.net_wait_fraction(), 0.05);
+  EXPECT_LT(r.net_wait_fraction(), 0.95);
+}
+
+TEST_F(BrowserLoadTest, Http1SlowerThanHttp2) {
+  auto h1 = harness::run_page_load(page_, baselines::http11(), opt_, 1);
+  auto h2 = harness::run_page_load(page_, baselines::http2_baseline(), opt_, 1);
+  ASSERT_TRUE(h1.finished);
+  ASSERT_TRUE(h2.finished);
+  EXPECT_GT(h1.plt, h2.plt);
+}
+
+TEST_F(BrowserLoadTest, CpuBoundLowerBoundIgnoresNetwork) {
+  auto r = harness::run_page_load(page_, baselines::lower_bound_cpu(), opt_, 1);
+  ASSERT_TRUE(r.finished);
+  // Nearly all load time is CPU work.
+  EXPECT_GT(static_cast<double>(r.cpu_busy) / static_cast<double>(r.plt), 0.8);
+}
+
+TEST_F(BrowserLoadTest, NetworkBoundFetchesEverythingWithoutProcessing) {
+  auto r =
+      harness::run_page_load(page_, baselines::lower_bound_network(), opt_, 1);
+  ASSERT_TRUE(r.finished);
+  EXPECT_EQ(r.cpu_busy, 0);
+  int fetched = 0;
+  for (const auto& t : r.timings) {
+    if (t.referenced) {
+      ++fetched;
+      EXPECT_EQ(t.discovered, 0) << "all URLs known at t=0";
+    }
+  }
+  EXPECT_EQ(fetched, expected_referenced());
+}
+
+TEST_F(BrowserLoadTest, LowerBoundsAreLowerThanBaseline) {
+  auto h2 = harness::run_page_load(page_, baselines::http2_baseline(), opt_, 1);
+  auto netb =
+      harness::run_page_load(page_, baselines::lower_bound_network(), opt_, 1);
+  auto cpub =
+      harness::run_page_load(page_, baselines::lower_bound_cpu(), opt_, 1);
+  EXPECT_LT(netb.plt, h2.plt);
+  EXPECT_LT(cpub.plt, h2.plt);
+}
+
+TEST_F(BrowserLoadTest, WarmCacheSpeedsUpRepeatLoad) {
+  Cache cache;
+  harness::RunOptions warm = opt_;
+  warm.cache = &cache;
+  auto cold = harness::run_page_load(page_, baselines::http2_baseline(), warm, 1);
+  ASSERT_TRUE(cold.finished);
+  EXPECT_GT(cache.size(), 10u);
+  auto hot = harness::run_page_load(page_, baselines::http2_baseline(), warm, 2);
+  ASSERT_TRUE(hot.finished);
+  EXPECT_GT(hot.cache_hits, 10);
+  EXPECT_LT(hot.plt, cold.plt);
+  EXPECT_LT(hot.bytes_fetched, cold.bytes_fetched);
+}
+
+TEST_F(BrowserLoadTest, DeterministicAcrossRuns) {
+  auto a = harness::run_page_load(page_, baselines::http2_baseline(), opt_, 1);
+  auto b = harness::run_page_load(page_, baselines::http2_baseline(), opt_, 1);
+  EXPECT_EQ(a.plt, b.plt);
+  EXPECT_EQ(a.bytes_fetched, b.bytes_fetched);
+}
+
+}  // namespace
+}  // namespace vroom::browser

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baselines/strategies.h"
+#include "core/accuracy.h"
+#include "harness/experiment.h"
+#include "harness/stats.h"
+#include "web/corpus.h"
+
+// Calibration gates: the synthetic corpus and simulated device/link must
+// land in the neighbourhood of the paper's own measurements (DESIGN.md §4).
+// Tolerances are generous — the target is shape, not point estimates — but
+// tight enough that a regression in the generator or the engine is caught.
+
+namespace vroom {
+namespace {
+
+class CorpusCalibration : public ::testing::Test {
+ protected:
+  CorpusCalibration() : corpus_(web::Corpus::news_sports(42)) {}
+  web::Corpus corpus_;
+};
+
+TEST_F(CorpusCalibration, ResourceCountsRealistic) {
+  std::vector<double> counts;
+  for (const auto& p : corpus_.pages()) {
+    counts.push_back(static_cast<double>(p.size()));
+  }
+  const double med = harness::median(counts);
+  EXPECT_GT(med, 80);   // News/Sports pages are larger than the average page
+  EXPECT_LT(med, 260);
+}
+
+TEST_F(CorpusCalibration, ProcessableBytesAboutAQuarter) {
+  std::vector<double> fracs;
+  for (const auto& p : corpus_.pages()) {
+    fracs.push_back(static_cast<double>(p.processable_bytes()) /
+                    static_cast<double>(p.total_bytes()));
+  }
+  const double med = harness::median(fracs);
+  EXPECT_GT(med, 0.15);
+  EXPECT_LT(med, 0.40);
+}
+
+TEST_F(CorpusCalibration, BackToBackChurnNearPaperValue) {
+  // ~22 % of the median page's URLs change across back-to-back loads.
+  std::vector<double> churn;
+  for (const auto& p : corpus_.pages()) {
+    int per_load = 0;
+    for (const auto& r : p.resources()) {
+      if (r.volatility == web::Volatility::PerLoad) ++per_load;
+    }
+    churn.push_back(static_cast<double>(per_load) /
+                    static_cast<double>(p.size()));
+  }
+  const double med = harness::median(churn);
+  EXPECT_GT(med, 0.12);
+  EXPECT_LT(med, 0.32);
+}
+
+TEST_F(CorpusCalibration, PersistenceMatchesFigure7) {
+  web::Corpus top = web::Corpus::top100(42);
+  std::vector<double> hour, day, week;
+  for (const auto& p : top.pages()) {
+    hour.push_back(core::persistence_fraction(p, sim::days(45), web::nexus6(),
+                                              1, sim::hours(1)));
+    day.push_back(core::persistence_fraction(p, sim::days(45), web::nexus6(),
+                                             1, sim::days(1)));
+    week.push_back(core::persistence_fraction(p, sim::days(45), web::nexus6(),
+                                              1, sim::days(7)));
+  }
+  const double mh = harness::median(hour);
+  const double md = harness::median(day);
+  const double mw = harness::median(week);
+  std::printf("persistence medians: 1h=%.2f 1d=%.2f 1w=%.2f\n", mh, md, mw);
+  EXPECT_NEAR(mh, 0.70, 0.12);
+  EXPECT_NEAR(mw, 0.50, 0.15);
+  EXPECT_GT(mh, md);
+  EXPECT_GT(md, mw);
+}
+
+TEST_F(CorpusCalibration, AccuracyMatchesFigure21) {
+  web::Corpus acc = web::Corpus::accuracy_set(42, 40);
+  std::vector<double> vroom_fn, offline_fn, online_fn, vroom_fp, online_fp,
+      pred_count;
+  core::OfflineConfig off;
+  for (const auto& p : acc.pages()) {
+    auto v = core::measure_accuracy(p, sim::days(45), web::nexus6(), 1,
+                                    core::ResolutionMode::OfflinePlusOnline,
+                                    off);
+    auto o = core::measure_accuracy(p, sim::days(45), web::nexus6(), 1,
+                                    core::ResolutionMode::OfflineOnly, off);
+    auto n = core::measure_accuracy(p, sim::days(45), web::nexus6(), 1,
+                                    core::ResolutionMode::OnlineOnly, off);
+    vroom_fn.push_back(v.false_negative_frac);
+    offline_fn.push_back(o.false_negative_frac);
+    online_fn.push_back(n.false_negative_frac);
+    vroom_fp.push_back(v.false_positive_frac);
+    online_fp.push_back(n.false_positive_frac);
+    pred_count.push_back(v.predictable_count_frac);
+  }
+  std::printf("FN medians: vroom=%.3f offline=%.3f online=%.3f\n",
+              harness::median(vroom_fn), harness::median(offline_fn),
+              harness::median(online_fn));
+  std::printf("FP medians: vroom=%.3f online=%.3f; predictable=%.2f\n",
+              harness::median(vroom_fp), harness::median(online_fp),
+              harness::median(pred_count));
+  EXPECT_LT(harness::median(vroom_fn), 0.10);         // paper: < 5 %
+  EXPECT_GT(harness::median(offline_fn),
+            harness::median(vroom_fn) + 0.03);        // offline misses flux
+  EXPECT_LT(harness::median(online_fn), 0.05);        // near-perfect
+  EXPECT_GT(harness::median(online_fp),
+            harness::median(vroom_fp));                // server randomness
+  EXPECT_GT(harness::median(pred_count), 0.70);       // Fig 21a: > 80 %
+}
+
+class LoadTimeCalibration : public ::testing::Test {
+ protected:
+  LoadTimeCalibration() : corpus_(web::Corpus::news_sports(42)) {
+    opt_.loads_per_page = 1;
+  }
+  double median_plt(const baselines::Strategy& s, int pages = 16) {
+    std::vector<double> plts;
+    for (int i = 0; i < pages; ++i) {
+      plts.push_back(sim::to_seconds(
+          harness::run_page_load(corpus_.page(static_cast<std::size_t>(i * 6)),
+                                 s, opt_, 1)
+              .plt));
+    }
+    return harness::median(plts);
+  }
+  web::Corpus corpus_;
+  harness::RunOptions opt_;
+};
+
+TEST_F(LoadTimeCalibration, MediansInPaperNeighbourhood) {
+  const double h1 = median_plt(baselines::http11());
+  const double h2 = median_plt(baselines::http2_baseline());
+  const double vr = median_plt(baselines::vroom());
+  const double lb_cpu = median_plt(baselines::lower_bound_cpu());
+  const double lb_net = median_plt(baselines::lower_bound_network());
+  std::printf(
+      "median PLT (s): h1=%.2f h2=%.2f vroom=%.2f cpu=%.2f net=%.2f\n", h1,
+      h2, vr, lb_cpu, lb_net);
+  // Paper medians: 10.5 / 7.3 / 5.1 / ~5.0 / lower. The simulation
+  // compresses the absolute spread between protocols (no packet loss or
+  // radio state machine — see EXPERIMENTS.md), so we pin the *shape*:
+  // CPU is the binding constraint, every real scheme sits clearly above the
+  // bound, Vroom beats the HTTP/2 baseline, and HTTP/1.1 never beats it.
+  EXPECT_GT(lb_cpu, lb_net);  // the CPU is the binding constraint
+  EXPECT_NEAR(lb_cpu, 5.0, 1.5);
+  EXPECT_GT(h2, lb_cpu + 1.0);
+  EXPECT_LT(vr, h2 - 0.3);
+  EXPECT_GT(vr, lb_cpu);
+  EXPECT_GT(h1, h2 - 0.5);
+  EXPECT_NEAR(h2, 7.3, 2.5);
+  EXPECT_NEAR(vr, 5.1, 2.0);
+}
+
+TEST_F(LoadTimeCalibration, VroomBeatsHttp2OnMostPages) {
+  int better = 0, n = 16;
+  for (int i = 0; i < n; ++i) {
+    const auto& page = corpus_.page(static_cast<std::size_t>(i * 6));
+    const auto h2 =
+        harness::run_page_load(page, baselines::http2_baseline(), opt_, 1);
+    const auto vr = harness::run_page_load(page, baselines::vroom(), opt_, 1);
+    if (vr.plt < h2.plt) ++better;
+  }
+  EXPECT_GE(better, n * 3 / 4);
+}
+
+TEST_F(LoadTimeCalibration, NetWaitFractionMatchesFigure4) {
+  std::vector<double> waits;
+  for (int i = 0; i < 16; ++i) {
+    waits.push_back(
+        harness::run_page_load(corpus_.page(static_cast<std::size_t>(i * 6)),
+                               baselines::http2_baseline(), opt_, 1)
+            .net_wait_fraction());
+  }
+  const double med = harness::median(waits);
+  std::printf("median net-wait fraction under HTTP/2: %.2f\n", med);
+  EXPECT_GT(med, 0.20);  // paper: > 30 % on the median page
+  EXPECT_LT(med, 0.60);
+}
+
+}  // namespace
+}  // namespace vroom

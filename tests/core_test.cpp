@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/accuracy.h"
+#include "core/client_scheduler.h"
+#include "core/hint_generator.h"
+#include "core/offline_resolver.h"
+#include "core/online_analyzer.h"
+#include "core/vroom_provider.h"
+#include "harness/experiment.h"
+#include "harness/stats.h"
+#include "web/page_generator.h"
+
+namespace vroom::core {
+namespace {
+
+class CoreTest : public ::testing::Test {
+ protected:
+  CoreTest() : page_(web::generate_page(42, 7, web::PageClass::News)) {
+    id_.wall_time = sim::days(45);
+    id_.device = web::nexus6();
+    id_.user = 1;
+    id_.nonce = 11;
+    instance_ = std::make_unique<web::PageInstance>(page_, id_);
+  }
+
+  web::PageModel page_;
+  web::LoadIdentity id_;
+  std::unique_ptr<web::PageInstance> instance_;
+  OfflineConfig off_;
+};
+
+TEST_F(CoreTest, OrgKnowsUserOnlyWithinOrganization) {
+  EXPECT_TRUE(org_knows_user(page_, page_.first_party(), page_.first_party()));
+  ASSERT_GT(page_.first_party_group().size(), 1u);
+  EXPECT_TRUE(org_knows_user(page_, page_.first_party(),
+                             page_.first_party_group()[1]));
+  EXPECT_FALSE(org_knows_user(page_, page_.first_party(), "ads0.net"));
+  EXPECT_TRUE(org_knows_user(page_, "ads0.net", "ads0.net"));
+  EXPECT_FALSE(org_knows_user(page_, "ads0.net", page_.first_party()));
+}
+
+TEST_F(CoreTest, StableSetExcludesVolatileClasses) {
+  OfflineResolver resolver(page_, off_);
+  auto stable = resolver.stable_set(id_.wall_time, id_.device,
+                                    page_.first_party(), id_.user);
+  EXPECT_FALSE(stable.empty());
+  for (const auto& [rid, url] : stable) {
+    const web::Resource& r = page_.resource(rid);
+    EXPECT_NE(r.volatility, web::Volatility::PerLoad)
+        << "per-load resource survived the crawl intersection";
+    EXPECT_NE(r.volatility, web::Volatility::Hourly)
+        << "hour-scale resource survived a 3-hour crawl window";
+    EXPECT_NE(r.volatility, web::Volatility::Personalized);
+  }
+  // Most stable-class resources should be present.
+  int stable_class = 0, covered = 0;
+  for (const auto& r : page_.resources()) {
+    if (r.volatility == web::Volatility::Stable) {
+      ++stable_class;
+      if (stable.count(r.id)) ++covered;
+    }
+  }
+  EXPECT_GT(covered, stable_class * 8 / 10);
+}
+
+TEST_F(CoreTest, DeviceIouHigherForSimilarDevices) {
+  OfflineResolver resolver(page_, off_);
+  const double similar =
+      resolver.device_iou(id_.wall_time, web::nexus6(), web::oneplus3());
+  const double tablet =
+      resolver.device_iou(id_.wall_time, web::nexus6(), web::nexus10());
+  const double self =
+      resolver.device_iou(id_.wall_time, web::nexus6(), web::nexus6());
+  EXPECT_DOUBLE_EQ(self, 1.0);
+  EXPECT_GT(similar, tablet);
+  EXPECT_GT(tablet, 0.3);
+}
+
+TEST_F(CoreTest, CrawlDeviceHandlingModes) {
+  OfflineConfig exact = off_;
+  exact.device_handling = DeviceHandling::Exact;
+  EXPECT_EQ(OfflineResolver(page_, exact)
+                .crawl_device(id_.wall_time, web::nexus10())
+                .name,
+            "Nexus10");
+
+  OfflineConfig single = off_;
+  single.device_handling = DeviceHandling::SingleClass;
+  EXPECT_EQ(OfflineResolver(page_, single)
+                .crawl_device(id_.wall_time, web::nexus10())
+                .name,
+            off_.known_devices.front().name);
+
+  // Equivalence classes: a phone maps to a phone-class representative.
+  OfflineResolver clustered(page_, off_);
+  const auto& rep = clustered.crawl_device(id_.wall_time, web::oneplus3());
+  EXPECT_EQ(rep.screen, 0);
+}
+
+TEST_F(CoreTest, OnlineScanMatchesMarkup) {
+  OnlineScan scan = analyze_served_html(*instance_, 0);
+  EXPECT_FALSE(scan.links.empty());
+  EXPECT_GT(scan.cost, sim::ms(10));
+  for (const auto& [rid, url] : scan.links) {
+    EXPECT_EQ(instance_->resource(rid).url, url);
+    EXPECT_EQ(page_.resource(rid).via, web::DiscoveryVia::HtmlTag);
+    EXPECT_EQ(page_.resource(rid).parent, 0);
+  }
+}
+
+TEST_F(CoreTest, HintClassificationFollowsTable1) {
+  web::Resource r;
+  r.type = web::ResourceType::Js;
+  EXPECT_EQ(classify_hint(r), http::HintPriority::Preload);
+  r.async = true;
+  EXPECT_EQ(classify_hint(r), http::HintPriority::SemiImportant);
+  r.type = web::ResourceType::Image;
+  EXPECT_EQ(classify_hint(r), http::HintPriority::Unimportant);
+  r.type = web::ResourceType::Css;
+  r.async = false;
+  r.in_iframe = true;  // iframe content is always low priority (footnote 4)
+  EXPECT_EQ(classify_hint(r), http::HintPriority::Unimportant);
+  web::Resource doc;
+  doc.type = web::ResourceType::Html;
+  EXPECT_EQ(classify_hint(doc), http::HintPriority::Unimportant);
+}
+
+TEST_F(CoreTest, BuildAdvicePushesHighPriorityLocalOnly) {
+  std::vector<std::pair<std::uint32_t, std::string>> ordered;
+  for (std::uint32_t rid : page_.hintable_descendants(0)) {
+    ordered.emplace_back(rid, instance_->resource(rid).url);
+  }
+  AdviceBuild build =
+      build_advice(*instance_, ordered, page_.first_party(),
+                   /*hints_enabled=*/true, PushSelection::HighPriorityLocal);
+  EXPECT_FALSE(build.hints.empty());
+  for (const auto& p : build.pushes) {
+    EXPECT_EQ(web::url_domain(p.url), page_.first_party());
+    EXPECT_GT(p.body_bytes, 0);
+  }
+  // No URL appears both pushed and hinted.
+  std::set<std::string> pushed;
+  for (const auto& p : build.pushes) pushed.insert(p.url);
+  for (const auto& h : build.hints.hints) {
+    EXPECT_FALSE(pushed.count(h.url)) << h.url;
+  }
+}
+
+TEST_F(CoreTest, TruncateHintsDropsLowPriorityFirst) {
+  http::HintSet hs;
+  for (int i = 0; i < 5; ++i) {
+    hs.add("u" + std::to_string(i), http::HintPriority::Unimportant, i);
+  }
+  for (int i = 0; i < 3; ++i) {
+    hs.add("p" + std::to_string(i), http::HintPriority::Preload, i);
+  }
+  hs.add("s0", http::HintPriority::SemiImportant, 0);
+
+  http::HintSet untouched = hs;
+  truncate_hints(untouched, 0);
+  EXPECT_EQ(untouched.hints.size(), 9u);
+
+  truncate_hints(hs, 5);
+  ASSERT_EQ(hs.hints.size(), 5u);
+  // All preloads and the semi survive; only one unimportant remains.
+  int preload = 0, semi = 0, low = 0;
+  for (const auto& h : hs.hints) {
+    switch (h.priority) {
+      case http::HintPriority::Preload: ++preload; break;
+      case http::HintPriority::SemiImportant: ++semi; break;
+      case http::HintPriority::Unimportant: ++low; break;
+    }
+  }
+  EXPECT_EQ(preload, 3);
+  EXPECT_EQ(semi, 1);
+  EXPECT_EQ(low, 1);
+  // Within a class, earlier processing order survives.
+  EXPECT_EQ(hs.hints[0].url, "p0");
+}
+
+TEST_F(CoreTest, HintBudgetStillLoadsAndLimitsHeaderCount) {
+  harness::RunOptions opt;
+  baselines::Strategy budget = baselines::vroom();
+  budget.provider.max_hints = 20;
+  auto r = harness::run_page_load(page_, budget, opt, 1);
+  ASSERT_TRUE(r.finished);
+  int hinted = 0;
+  for (const auto& t : r.timings) {
+    if (t.hinted) ++hinted;
+  }
+  // Multiple documents each hint up to 20; still far below unlimited.
+  auto full = harness::run_page_load(page_, baselines::vroom(), opt, 1);
+  int full_hinted = 0;
+  for (const auto& t : full.timings) {
+    if (t.hinted) ++full_hinted;
+  }
+  EXPECT_LT(hinted, full_hinted);
+}
+
+TEST_F(CoreTest, ProviderAdvisesOnRootRequest) {
+  server::ReplayStore store(*instance_);
+  VroomProviderConfig cfg;
+  VroomProvider provider(store, cfg);
+  http::Request req;
+  req.url = instance_->resource(0).url;
+  req.user = id_.user;
+  req.device = id_.device;
+  auto advice = provider.advise(page_.first_party(), req);
+  EXPECT_FALSE(advice.hints.empty());
+  EXPECT_GT(advice.extra_delay, 0);  // online HTML scan costs time
+  // Hints must not include iframe descendants.
+  for (const auto& h : advice.hints.hints) {
+    auto rid = instance_->find_by_url(h.url);
+    if (rid.has_value()) {
+      const web::Resource& r = page_.resource(*rid);
+      if (r.in_iframe) {
+        EXPECT_TRUE(r.is_iframe_doc);
+      }
+    }
+  }
+}
+
+TEST_F(CoreTest, ProviderIgnoresNonHtmlRequests) {
+  server::ReplayStore store(*instance_);
+  VroomProvider provider(store, {});
+  for (const auto& r : page_.resources()) {
+    if (r.type != web::ResourceType::Html) {
+      http::Request req;
+      req.url = instance_->resource(r.id).url;
+      auto advice = provider.advise(web::url_domain(req.url), req);
+      EXPECT_TRUE(advice.hints.empty());
+      EXPECT_TRUE(advice.pushes.empty());
+      break;
+    }
+  }
+}
+
+TEST_F(CoreTest, ResolutionModesNested) {
+  OfflineResolver resolver(page_, off_);
+  auto vroom_set = resolve_candidates(*instance_, 0, page_.first_party(),
+                                      id_.user, ResolutionMode::OfflinePlusOnline,
+                                      resolver);
+  auto offline_set = resolve_candidates(*instance_, 0, page_.first_party(),
+                                        id_.user, ResolutionMode::OfflineOnly,
+                                        resolver);
+  // Vroom = offline + online, so it advises at least as much.
+  EXPECT_GE(vroom_set.size(), offline_set.size());
+  // Online overrides give exact current URLs for markup children.
+  std::set<std::string> vroom_urls;
+  for (auto& [rid, url] : vroom_set) vroom_urls.insert(url);
+  for (const web::ScannedLink& l : web::scan_html(*instance_, 0)) {
+    EXPECT_TRUE(vroom_urls.count(l.url)) << l.url;
+  }
+}
+
+TEST_F(CoreTest, AccuracyVroomBeatsOfflineOnlyOnMisses) {
+  auto vroom = measure_accuracy(page_, id_.wall_time, id_.device, id_.user,
+                                ResolutionMode::OfflinePlusOnline, off_);
+  auto offline = measure_accuracy(page_, id_.wall_time, id_.device, id_.user,
+                                  ResolutionMode::OfflineOnly, off_);
+  auto online = measure_accuracy(page_, id_.wall_time, id_.device, id_.user,
+                                 ResolutionMode::OnlineOnly, off_);
+  EXPECT_GT(vroom.predictable_count_frac, 0.5);
+  EXPECT_GT(vroom.predictable_bytes_frac, 0.5);
+  EXPECT_LE(vroom.false_negative_frac, offline.false_negative_frac);
+  EXPECT_LE(online.false_negative_frac, vroom.false_negative_frac + 0.05);
+  EXPECT_GT(online.false_positive_frac, vroom.false_positive_frac);
+}
+
+TEST_F(CoreTest, PersistenceDecaysWithGap) {
+  const double hour = persistence_fraction(page_, id_.wall_time, id_.device,
+                                           id_.user, sim::hours(1));
+  const double day = persistence_fraction(page_, id_.wall_time, id_.device,
+                                          id_.user, sim::days(1));
+  const double week = persistence_fraction(page_, id_.wall_time, id_.device,
+                                           id_.user, sim::days(7));
+  EXPECT_GT(hour, day);
+  EXPECT_GE(day, week);
+  EXPECT_GT(hour, 0.4);
+  EXPECT_LT(week, 0.9);
+}
+
+// End-to-end: across a handful of pages, Vroom's median beats the HTTP/2
+// baseline and it finishes high-priority fetches sooner. (Per-page ties or
+// small losses happen — the paper sees the same at the tail of Fig 13.)
+TEST_F(CoreTest, VroomLoadFasterThanHttp2) {
+  harness::RunOptions opt;
+  std::vector<double> h2_plt, vr_plt;
+  int hp_better = 0;
+  const int n = 5;
+  for (int i = 0; i < n; ++i) {
+    const web::PageModel page =
+        web::generate_page(42, static_cast<std::uint32_t>(20 + i),
+                           web::PageClass::News);
+    auto h2 = harness::run_page_load(page, baselines::http2_baseline(), opt, 1);
+    auto vr = harness::run_page_load(page, baselines::vroom(), opt, 1);
+    ASSERT_TRUE(h2.finished);
+    ASSERT_TRUE(vr.finished);
+    h2_plt.push_back(sim::to_seconds(h2.plt));
+    vr_plt.push_back(sim::to_seconds(vr.plt));
+    if (vr.high_prio_fetched < h2.high_prio_fetched) ++hp_better;
+  }
+  EXPECT_LT(harness::median(vr_plt), harness::median(h2_plt));
+  EXPECT_GE(hp_better, n - 1);
+}
+
+TEST_F(CoreTest, VroomHintsAndPushesObservedClientSide) {
+  harness::RunOptions opt;
+  auto vr = harness::run_page_load(page_, baselines::vroom(), opt, 1);
+  ASSERT_TRUE(vr.finished);
+  int hinted = 0, pushed = 0;
+  for (const auto& t : vr.timings) {
+    if (t.hinted) ++hinted;
+    if (t.pushed) ++pushed;
+  }
+  EXPECT_GT(hinted, 10);
+  EXPECT_GT(pushed, 0);
+}
+
+}  // namespace
+}  // namespace vroom::core

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "http/connection_pool.h"
+#include "http/http1.h"
+#include "http/http2.h"
+
+namespace vroom::http {
+namespace {
+
+// A scripted origin for protocol tests.
+class FakeServer : public RequestHandler {
+ public:
+  ServerReply handle(const Request& req) override {
+    requests.push_back(req.url);
+    ServerReply r = next;
+    if (req.conditional && serve_304) r.not_modified = true;
+    return r;
+  }
+  std::vector<std::string> requests;
+  ServerReply next = [] {
+    ServerReply r;
+    r.body_bytes = 10'000;
+    return r;
+  }();
+  bool serve_304 = false;
+};
+
+class HttpTest : public ::testing::Test {
+ protected:
+  HttpTest() : net_(loop_, net::NetworkConfig::lte(), 1) {
+    net_.set_rtt("a.com", sim::ms(100));
+  }
+  sim::EventLoop loop_;
+  net::Network net_;
+  FakeServer server_;
+};
+
+TEST_F(HttpTest, Http2SingleFetchDeliversHeadersThenBody) {
+  Http2Session session(net_, "a.com", server_, {});
+  sim::Time headers_at = -1, body_at = -1;
+  ResponseHandlers h;
+  h.on_headers = [&](const ResponseMeta& m) {
+    headers_at = loop_.now();
+    EXPECT_EQ(m.body_bytes, 10'000);
+  };
+  h.on_complete = [&](const ResponseMeta&) { body_at = loop_.now(); };
+  Request req;
+  req.url = "a.com/p1/r0v1.html";
+  session.fetch(req, std::move(h));
+  loop_.run();
+  EXPECT_GT(headers_at, sim::ms(225));  // after DNS + TCP + TLS
+  EXPECT_GT(body_at, headers_at);
+  EXPECT_EQ(server_.requests.size(), 1u);
+}
+
+TEST_F(HttpTest, Http2MultiplexesOnOneConnection) {
+  Http2Session session(net_, "a.com", server_, {});
+  int done = 0;
+  for (int i = 0; i < 8; ++i) {
+    Request req;
+    req.url = "a.com/p1/r" + std::to_string(i) + "v1.js";
+    ResponseHandlers h;
+    h.on_complete = [&](const ResponseMeta&) { ++done; };
+    session.fetch(req, std::move(h));
+  }
+  loop_.run();
+  EXPECT_EQ(done, 8);
+  // All eight went to the same origin object with no per-request handshake:
+  // total bytes ~ 8 * (10350) and far less wall time than 8 serial setups.
+  EXPECT_EQ(server_.requests.size(), 8u);
+}
+
+TEST_F(HttpTest, Http2ResponsesArriveInRequestOrder) {
+  Http2Session session(net_, "a.com", server_, {});
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    Request req;
+    req.url = "a.com/p1/r" + std::to_string(i) + "v1.js";
+    ResponseHandlers h;
+    h.on_complete = [&order, i](const ResponseMeta&) { order.push_back(i); };
+    session.fetch(req, std::move(h));
+  }
+  loop_.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_F(HttpTest, Http2PushPromiseAndContent) {
+  PushObserver obs;
+  std::vector<std::string> promised, pushed;
+  sim::Time promise_at = -1;
+  obs.on_promise = [&](const std::string& url, std::int64_t) {
+    promised.push_back(url);
+    promise_at = loop_.now();
+  };
+  obs.on_complete = [&](const std::string& url, std::int64_t) {
+    pushed.push_back(url);
+  };
+  Http2Session session(net_, "a.com", server_, obs);
+  server_.next.pushes = {PushItem{"a.com/p1/r5v1.css", 4000},
+                         PushItem{"a.com/p1/r6v1.js", 6000}};
+  sim::Time html_done = -1;
+  Request req;
+  req.url = "a.com/p1/r0v1.html";
+  ResponseHandlers h;
+  h.on_complete = [&](const ResponseMeta&) { html_done = loop_.now(); };
+  session.fetch(req, std::move(h));
+  loop_.run();
+  ASSERT_EQ(promised.size(), 2u);
+  EXPECT_LT(promise_at, html_done);  // promises ride with the headers
+  ASSERT_EQ(pushed.size(), 2u);
+  EXPECT_EQ(pushed[0], "a.com/p1/r5v1.css");  // pushed in listed order
+}
+
+TEST_F(HttpTest, Http2HintsVisibleAtHeaders) {
+  Http2Session session(net_, "a.com", server_, {});
+  server_.next.hints.add("b.com/p1/r9v1.js", HintPriority::Preload, 0);
+  bool saw = false;
+  Request req;
+  req.url = "a.com/p1/r0v1.html";
+  ResponseHandlers h;
+  h.on_headers = [&](const ResponseMeta& m) {
+    saw = !m.hints.empty();
+    EXPECT_EQ(m.hints.hints[0].url, "b.com/p1/r9v1.js");
+  };
+  session.fetch(req, std::move(h));
+  loop_.run();
+  EXPECT_TRUE(saw);
+}
+
+TEST_F(HttpTest, Http2ConditionalGets304) {
+  Http2Session session(net_, "a.com", server_, {});
+  server_.serve_304 = true;
+  bool nm = false;
+  Request req;
+  req.url = "a.com/p1/r0v1.html";
+  req.conditional = true;
+  ResponseHandlers h;
+  h.on_complete = [&](const ResponseMeta& m) { nm = m.not_modified; };
+  session.fetch(req, std::move(h));
+  loop_.run();
+  EXPECT_TRUE(nm);
+}
+
+TEST_F(HttpTest, Http2ExtraDelayDefersResponse) {
+  Http2Session fast(net_, "a.com", server_, {});
+  sim::Time t_fast = -1, t_slow = -1;
+  {
+    Request req;
+    req.url = "a.com/p1/r0v1.html";
+    ResponseHandlers h;
+    h.on_complete = [&](const ResponseMeta&) { t_fast = loop_.now(); };
+    fast.fetch(req, std::move(h));
+    loop_.run();
+  }
+  sim::EventLoop loop2;
+  net::Network net2(loop2, net::NetworkConfig::lte(), 1);
+  net2.set_rtt("a.com", sim::ms(100));
+  FakeServer slow_server;
+  slow_server.next.extra_delay = sim::ms(100);
+  Http2Session slow(net2, "a.com", slow_server, {});
+  {
+    Request req;
+    req.url = "a.com/p1/r0v1.html";
+    ResponseHandlers h;
+    h.on_complete = [&](const ResponseMeta&) { t_slow = loop2.now(); };
+    slow.fetch(req, std::move(h));
+    loop2.run();
+  }
+  EXPECT_EQ(t_slow - t_fast, sim::ms(100));
+}
+
+TEST_F(HttpTest, Http1LimitsParallelismToSixConnections) {
+  Http1Group group(net_, "a.com", server_);
+  int done = 0;
+  std::vector<sim::Time> completions;
+  for (int i = 0; i < 12; ++i) {
+    Request req;
+    req.url = "a.com/p1/r" + std::to_string(i) + "v1.js";
+    ResponseHandlers h;
+    h.on_complete = [&](const ResponseMeta&) {
+      ++done;
+      completions.push_back(loop_.now());
+    };
+    group.fetch(req, std::move(h));
+  }
+  loop_.run();
+  EXPECT_EQ(done, 12);
+  // With only 6 lanes the last completions come distinctly later than the
+  // first ones (two serialized waves).
+  std::sort(completions.begin(), completions.end());
+  EXPECT_GT(completions.back(), completions.front() + sim::ms(50));
+}
+
+TEST_F(HttpTest, Http1HigherPriorityJumpsQueue) {
+  Http1Group group(net_, "a.com", server_);
+  std::vector<std::string> completed;
+  auto submit = [&](const std::string& url, int prio) {
+    Request req;
+    req.url = url;
+    req.priority = prio;
+    ResponseHandlers h;
+    h.on_complete = [&completed, url](const ResponseMeta&) {
+      completed.push_back(url);
+    };
+    group.fetch(req, std::move(h));
+  };
+  // Fill all six lanes plus queue, then add a high-priority request; it must
+  // finish before the earlier-queued low-priority ones.
+  for (int i = 0; i < 8; ++i) {
+    submit("a.com/p1/r" + std::to_string(i) + "v1.jpg", 0);
+  }
+  submit("a.com/p1/r99v1.js", 5);
+  loop_.run();
+  auto pos = [&](const std::string& u) {
+    return std::find(completed.begin(), completed.end(), u) -
+           completed.begin();
+  };
+  EXPECT_LT(pos("a.com/p1/r99v1.js"), pos("a.com/p1/r7v1.jpg"));
+}
+
+TEST_F(HttpTest, PoolCreatesOneEndpointPerDomain) {
+  FakeServer s2;
+  ConnectionPool pool(
+      net_,
+      [&](const std::string& d) -> RequestHandler& {
+        return d == "a.com" ? static_cast<RequestHandler&>(server_)
+                            : static_cast<RequestHandler&>(s2);
+      },
+      [](const std::string&) { return Protocol::Http2; }, {});
+  Endpoint& a1 = pool.endpoint("a.com");
+  Endpoint& a2 = pool.endpoint("a.com");
+  Endpoint& b = pool.endpoint("b.com");
+  EXPECT_EQ(&a1, &a2);
+  EXPECT_NE(static_cast<Endpoint*>(&a1), &b);
+}
+
+TEST(HintWireTest, SerializeMatchesTable1Format) {
+  HintSet hs;
+  hs.add("b.com/p1/r1v1.js", HintPriority::Preload, 0);
+  hs.add("a.com/p1/r2v1.css", HintPriority::Preload, 1);
+  hs.add("c.com/p1/r3v1.js", HintPriority::SemiImportant, 0);
+  hs.add("d.com/p1/r4v1.jpg", HintPriority::Unimportant, 0);
+  const std::string wire = serialize_hints(hs);
+  EXPECT_NE(wire.find("Link: <b.com/p1/r1v1.js>; rel=preload, "
+                      "<a.com/p1/r2v1.css>; rel=preload"),
+            std::string::npos);
+  EXPECT_NE(wire.find("x-semi-important: <c.com/p1/r3v1.js>"),
+            std::string::npos);
+  EXPECT_NE(wire.find("x-unimportant: <d.com/p1/r4v1.jpg>"),
+            std::string::npos);
+  // §5.1 footnote: headers must be CORS-exposed for the JS scheduler.
+  EXPECT_NE(wire.find("Access-Control-Expose-Headers"), std::string::npos);
+}
+
+TEST(HintWireTest, RoundTripPreservesClassAndOrder) {
+  HintSet hs;
+  hs.add("a.com/p1/r1v1.js", HintPriority::Preload, 0);
+  hs.add("a.com/p1/r2v1.js", HintPriority::Preload, 1);
+  hs.add("b.com/p1/r3v1.js", HintPriority::SemiImportant, 0);
+  hs.add("c.com/p1/r4v1.jpg", HintPriority::Unimportant, 0);
+  hs.add("c.com/p1/r5v1.jpg", HintPriority::Unimportant, 1);
+  HintSet parsed;
+  ASSERT_TRUE(parse_hints(serialize_hints(hs), parsed));
+  ASSERT_EQ(parsed.hints.size(), hs.hints.size());
+  for (std::size_t i = 0; i < hs.hints.size(); ++i) {
+    EXPECT_EQ(parsed.hints[i], hs.hints[i]) << i;
+  }
+}
+
+TEST(HintWireTest, EmptySetSerializesEmpty) {
+  EXPECT_EQ(serialize_hints({}), "");
+  HintSet parsed;
+  EXPECT_TRUE(parse_hints("", parsed));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(HintWireTest, RejectsMalformedWire) {
+  HintSet parsed;
+  EXPECT_FALSE(parse_hints("garbage line", parsed));
+  EXPECT_FALSE(parse_hints("X-Unknown: <a.com/x.js>", parsed));
+  EXPECT_FALSE(parse_hints("Link: <unterminated", parsed));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(HintSetTest, ByPriorityAndHeaderBytes) {
+  HintSet hs;
+  hs.add("a.com/p1/r1v1.js", HintPriority::Preload, 0);
+  hs.add("a.com/p1/r2v1.jpg", HintPriority::Unimportant, 0);
+  hs.add("a.com/p1/r3v1.js", HintPriority::SemiImportant, 0);
+  EXPECT_EQ(hs.by_priority(HintPriority::Preload).size(), 1u);
+  EXPECT_EQ(hs.by_priority(HintPriority::Unimportant).size(), 1u);
+  EXPECT_EQ(hs.header_bytes(), 180);
+}
+
+}  // namespace
+}  // namespace vroom::http

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "net/link.h"
+#include "net/network.h"
+#include "net/tcp.h"
+
+namespace vroom::net {
+namespace {
+
+TEST(LinkTest, SerializesAtLineRate) {
+  sim::EventLoop loop;
+  Link link(loop, 8e6);  // 1 byte/us
+  sim::Time done = -1;
+  link.transmit(1000, [&] { done = loop.now(); });
+  loop.run();
+  EXPECT_EQ(done, 1000);
+  EXPECT_EQ(link.total_bytes(), 1000);
+}
+
+TEST(LinkTest, FifoQueueing) {
+  sim::EventLoop loop;
+  Link link(loop, 8e6);
+  sim::Time first = -1, second = -1;
+  link.transmit(1000, [&] { first = loop.now(); });
+  link.transmit(500, [&] { second = loop.now(); });
+  loop.run();
+  EXPECT_EQ(first, 1000);
+  EXPECT_EQ(second, 1500);  // queued behind the first transfer
+}
+
+TEST(LinkTest, LaterArrivalStartsWhenIdle) {
+  sim::EventLoop loop;
+  Link link(loop, 8e6);
+  sim::Time done = -1;
+  loop.schedule_at(5000, [&] { link.transmit(100, [&] { done = loop.now(); }); });
+  loop.run();
+  EXPECT_EQ(done, 5100);
+}
+
+TEST(LinkTest, UtilizationAccounting) {
+  sim::EventLoop loop;
+  Link link(loop, 8e6);
+  link.transmit(1000, [] {});
+  loop.schedule_at(2000, [] {});  // extend the clock to 2000us
+  loop.run();
+  EXPECT_NEAR(link.utilization(), 0.5, 1e-9);
+}
+
+TEST(NetworkTest, DomainRttDeterministicAndBounded) {
+  sim::EventLoop loop;
+  NetworkConfig cfg = NetworkConfig::lte();
+  Network a(loop, cfg, 7), b(loop, cfg, 7), c(loop, cfg, 8);
+  EXPECT_EQ(a.rtt("x.com"), b.rtt("x.com"));
+  EXPECT_GE(a.rtt("x.com"), cfg.cellular_rtt + cfg.domain_rtt_min);
+  EXPECT_LE(a.rtt("x.com"), cfg.cellular_rtt + cfg.domain_rtt_max);
+  // Different seeds generally draw different wide-area legs.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    const std::string d = "dom" + std::to_string(i) + ".com";
+    if (a.rtt(d) != c.rtt(d)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(NetworkTest, SetRttOverrides) {
+  sim::EventLoop loop;
+  Network n(loop, NetworkConfig::lte(), 1);
+  n.set_rtt("a.com", sim::ms(80));
+  EXPECT_EQ(n.rtt("a.com"), sim::ms(80));
+}
+
+class TcpTest : public ::testing::Test {
+ protected:
+  TcpTest() : net_(loop_, NetworkConfig::lte(), 1) {
+    net_.set_rtt("a.com", sim::ms(100));
+  }
+  sim::EventLoop loop_;
+  Network net_;
+};
+
+TEST_F(TcpTest, HandshakeTakesDnsPlusRtts) {
+  TcpConnection conn(net_, "a.com", /*needs_dns=*/true);
+  sim::Time established = -1;
+  conn.connect([&] { established = loop_.now(); });
+  loop_.run();
+  // DNS (25ms) + TCP handshake (100ms) + 2 TLS RTTs (TLS 1.2, 200ms).
+  EXPECT_EQ(established, sim::ms(325));
+  EXPECT_TRUE(conn.established());
+}
+
+TEST_F(TcpTest, NoDnsSkipsLookup) {
+  TcpConnection conn(net_, "a.com", /*needs_dns=*/false);
+  sim::Time established = -1;
+  conn.connect([&] { established = loop_.now(); });
+  loop_.run();
+  EXPECT_EQ(established, sim::ms(300));
+}
+
+TEST_F(TcpTest, SmallResponseIsLatencyBound) {
+  TcpConnection conn(net_, "a.com", false);
+  sim::Time done = -1;
+  conn.connect([&] {
+    TcpConnection::Chunk c;
+    c.bytes = 1000;  // one segment
+    c.on_delivered = [&] { done = loop_.now(); };
+    conn.send_chunk(std::move(c));
+  });
+  loop_.run();
+  // Established at 300ms; then half RTT + serialization (~0.8ms at 10Mbps).
+  EXPECT_GT(done, sim::ms(350));
+  EXPECT_LT(done, sim::ms(352));
+}
+
+TEST_F(TcpTest, LargeTransferApproachesLinkRate) {
+  TcpConnection conn(net_, "a.com", false);
+  const std::int64_t bytes = 3'000'000;
+  sim::Time done = -1;
+  conn.connect([&] {
+    TcpConnection::Chunk c;
+    c.bytes = bytes;
+    c.on_delivered = [&] { done = loop_.now(); };
+    conn.send_chunk(std::move(c));
+  });
+  loop_.run();
+  const double secs = sim::to_seconds(done - sim::ms(300));
+  const double ideal = bytes * 8.0 / 10e6;
+  EXPECT_GT(secs, ideal);           // slow start costs something
+  EXPECT_LT(secs, ideal * 1.5);     // but the link ends up well utilized
+}
+
+TEST_F(TcpTest, SlowStartMakesSmallTransfersRoundTripBound) {
+  // 64 KB needs ~3 windows at init cwnd 10*1460: observable extra RTTs.
+  TcpConnection conn(net_, "a.com", false);
+  sim::Time done = -1;
+  conn.connect([&] {
+    TcpConnection::Chunk c;
+    c.bytes = 64'000;
+    c.on_delivered = [&] { done = loop_.now(); };
+    conn.send_chunk(std::move(c));
+  });
+  loop_.run();
+  const sim::Time after_setup = done - sim::ms(300);
+  // Serialization alone would be ~51ms; slow start adds at least 2 extra
+  // round trips beyond the first half-RTT.
+  EXPECT_GT(after_setup, sim::ms(51 + 150));
+}
+
+TEST_F(TcpTest, ChunksDeliverInOrderWithCallbacks) {
+  TcpConnection conn(net_, "a.com", false);
+  std::vector<int> order;
+  sim::Time first_byte_b = -1;
+  conn.connect([&] {
+    TcpConnection::Chunk a;
+    a.bytes = 10'000;
+    a.on_delivered = [&] { order.push_back(1); };
+    conn.send_chunk(std::move(a));
+    TcpConnection::Chunk b;
+    b.bytes = 10'000;
+    b.on_first_byte = [&] { first_byte_b = loop_.now(); };
+    b.on_delivered = [&] { order.push_back(2); };
+    conn.send_chunk(std::move(b));
+  });
+  loop_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_GT(first_byte_b, 0);
+}
+
+TEST_F(TcpTest, RequestReachesServerAfterUplinkAndHalfRtt) {
+  TcpConnection conn(net_, "a.com", false);
+  sim::Time at_server = -1;
+  conn.connect([&] {
+    conn.send_request(450, [&] { at_server = loop_.now(); });
+  });
+  loop_.run();
+  // 450B at 5Mbps = 720us, + 50ms half RTT.
+  EXPECT_EQ(at_server, sim::ms(300) + 720 + sim::ms(50));
+}
+
+TEST_F(TcpTest, TwoConnectionsShareTheAccessLink) {
+  net_.set_rtt("b.com", sim::ms(100));
+  TcpConnection c1(net_, "a.com", false);
+  TcpConnection c2(net_, "b.com", false);
+  sim::Time d1 = -1, d2 = -1;
+  const std::int64_t bytes = 1'000'000;
+  auto send = [&](TcpConnection& c, sim::Time& out) {
+    c.connect([&c, &out, bytes, this] {
+      TcpConnection::Chunk ch;
+      ch.bytes = bytes;
+      ch.on_delivered = [&out, this] { out = loop_.now(); };
+      c.send_chunk(std::move(ch));
+    });
+  };
+  send(c1, d1);
+  send(c2, d2);
+  loop_.run();
+  // Together they move 2 MB; the shared 10 Mbps link needs >= 1.6s.
+  EXPECT_GT(std::max(d1, d2), sim::from_seconds(2 * bytes * 8.0 / 10e6));
+}
+
+}  // namespace
+}  // namespace vroom::net
