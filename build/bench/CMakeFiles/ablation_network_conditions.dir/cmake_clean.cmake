@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_network_conditions.dir/ablation_network_conditions.cpp.o"
+  "CMakeFiles/ablation_network_conditions.dir/ablation_network_conditions.cpp.o.d"
+  "ablation_network_conditions"
+  "ablation_network_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_network_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_amp.dir/ext_amp.cpp.o"
+  "CMakeFiles/ext_amp.dir/ext_amp.cpp.o.d"
+  "ext_amp"
+  "ext_amp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_status_quo.dir/fig01_status_quo.cpp.o"
+  "CMakeFiles/fig01_status_quo.dir/fig01_status_quo.cpp.o.d"
+  "fig01_status_quo"
+  "fig01_status_quo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_status_quo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_lower_bound.dir/fig02_lower_bound.cpp.o"
+  "CMakeFiles/fig02_lower_bound.dir/fig02_lower_bound.cpp.o.d"
+  "fig02_lower_bound"
+  "fig02_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

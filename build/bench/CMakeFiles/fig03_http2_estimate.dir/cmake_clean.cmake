@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_http2_estimate.dir/fig03_http2_estimate.cpp.o"
+  "CMakeFiles/fig03_http2_estimate.dir/fig03_http2_estimate.cpp.o.d"
+  "fig03_http2_estimate"
+  "fig03_http2_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_http2_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

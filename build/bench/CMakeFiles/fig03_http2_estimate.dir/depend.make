@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_http2_estimate.
+# This may be replaced when dependencies are built.

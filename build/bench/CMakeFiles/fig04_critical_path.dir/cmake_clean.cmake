@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_critical_path.dir/fig04_critical_path.cpp.o"
+  "CMakeFiles/fig04_critical_path.dir/fig04_critical_path.cpp.o.d"
+  "fig04_critical_path"
+  "fig04_critical_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_critical_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

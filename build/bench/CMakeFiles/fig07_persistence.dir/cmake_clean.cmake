@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_persistence.dir/fig07_persistence.cpp.o"
+  "CMakeFiles/fig07_persistence.dir/fig07_persistence.cpp.o.d"
+  "fig07_persistence"
+  "fig07_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_device_similarity.dir/fig09_device_similarity.cpp.o"
+  "CMakeFiles/fig09_device_similarity.dir/fig09_device_similarity.cpp.o.d"
+  "fig09_device_similarity"
+  "fig09_device_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_device_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_scheduling_example.dir/fig11_scheduling_example.cpp.o"
+  "CMakeFiles/fig11_scheduling_example.dir/fig11_scheduling_example.cpp.o.d"
+  "fig11_scheduling_example"
+  "fig11_scheduling_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scheduling_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

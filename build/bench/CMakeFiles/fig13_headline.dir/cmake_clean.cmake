@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_headline.dir/fig13_headline.cpp.o"
+  "CMakeFiles/fig13_headline.dir/fig13_headline.cpp.o.d"
+  "fig13_headline"
+  "fig13_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

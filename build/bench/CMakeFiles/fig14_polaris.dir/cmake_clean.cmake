@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_polaris.dir/fig14_polaris.cpp.o"
+  "CMakeFiles/fig14_polaris.dir/fig14_polaris.cpp.o.d"
+  "fig14_polaris"
+  "fig14_polaris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_polaris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

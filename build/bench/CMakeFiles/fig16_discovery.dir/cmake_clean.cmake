@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_discovery.dir/fig16_discovery.cpp.o"
+  "CMakeFiles/fig16_discovery.dir/fig16_discovery.cpp.o.d"
+  "fig16_discovery"
+  "fig16_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_prev_load_deps.dir/fig17_prev_load_deps.cpp.o"
+  "CMakeFiles/fig17_prev_load_deps.dir/fig17_prev_load_deps.cpp.o.d"
+  "fig17_prev_load_deps"
+  "fig17_prev_load_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_prev_load_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_prev_load_deps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_push_only.dir/fig18_push_only.cpp.o"
+  "CMakeFiles/fig18_push_only.dir/fig18_push_only.cpp.o.d"
+  "fig18_push_only"
+  "fig18_push_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_push_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

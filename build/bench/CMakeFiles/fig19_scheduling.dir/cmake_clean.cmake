@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_scheduling.dir/fig19_scheduling.cpp.o"
+  "CMakeFiles/fig19_scheduling.dir/fig19_scheduling.cpp.o.d"
+  "fig19_scheduling"
+  "fig19_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

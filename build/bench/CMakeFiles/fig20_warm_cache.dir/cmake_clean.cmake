@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_warm_cache.dir/fig20_warm_cache.cpp.o"
+  "CMakeFiles/fig20_warm_cache.dir/fig20_warm_cache.cpp.o.d"
+  "fig20_warm_cache"
+  "fig20_warm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_warm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_accuracy.dir/fig21_accuracy.cpp.o"
+  "CMakeFiles/fig21_accuracy.dir/fig21_accuracy.cpp.o.d"
+  "fig21_accuracy"
+  "fig21_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

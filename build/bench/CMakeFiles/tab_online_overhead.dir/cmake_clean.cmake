@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_online_overhead.dir/tab_online_overhead.cpp.o"
+  "CMakeFiles/tab_online_overhead.dir/tab_online_overhead.cpp.o.d"
+  "tab_online_overhead"
+  "tab_online_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_online_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

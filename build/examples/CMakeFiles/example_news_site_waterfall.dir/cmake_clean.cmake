@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_news_site_waterfall.dir/news_site_waterfall.cpp.o"
+  "CMakeFiles/example_news_site_waterfall.dir/news_site_waterfall.cpp.o.d"
+  "example_news_site_waterfall"
+  "example_news_site_waterfall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_news_site_waterfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vroom_cli.dir/vroom_cli.cpp.o"
+  "CMakeFiles/example_vroom_cli.dir/vroom_cli.cpp.o.d"
+  "example_vroom_cli"
+  "example_vroom_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vroom_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

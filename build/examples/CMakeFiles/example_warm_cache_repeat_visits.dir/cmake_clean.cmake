@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_warm_cache_repeat_visits.dir/warm_cache_repeat_visits.cpp.o"
+  "CMakeFiles/example_warm_cache_repeat_visits.dir/warm_cache_repeat_visits.cpp.o.d"
+  "example_warm_cache_repeat_visits"
+  "example_warm_cache_repeat_visits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_warm_cache_repeat_visits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_warm_cache_repeat_visits.
+# This may be replaced when dependencies are built.

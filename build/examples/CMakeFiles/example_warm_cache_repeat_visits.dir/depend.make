@@ -1,0 +1,2 @@
+# Empty dependencies file for example_warm_cache_repeat_visits.
+# This may be replaced when dependencies are built.

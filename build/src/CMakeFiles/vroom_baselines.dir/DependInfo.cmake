@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/lower_bound.cpp" "src/CMakeFiles/vroom_baselines.dir/baselines/lower_bound.cpp.o" "gcc" "src/CMakeFiles/vroom_baselines.dir/baselines/lower_bound.cpp.o.d"
+  "/root/repo/src/baselines/polaris.cpp" "src/CMakeFiles/vroom_baselines.dir/baselines/polaris.cpp.o" "gcc" "src/CMakeFiles/vroom_baselines.dir/baselines/polaris.cpp.o.d"
+  "/root/repo/src/baselines/strategies.cpp" "src/CMakeFiles/vroom_baselines.dir/baselines/strategies.cpp.o" "gcc" "src/CMakeFiles/vroom_baselines.dir/baselines/strategies.cpp.o.d"
+  "/root/repo/src/baselines/vroom_polaris.cpp" "src/CMakeFiles/vroom_baselines.dir/baselines/vroom_polaris.cpp.o" "gcc" "src/CMakeFiles/vroom_baselines.dir/baselines/vroom_polaris.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vroom_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

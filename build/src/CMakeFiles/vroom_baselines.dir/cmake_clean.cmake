@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vroom_baselines.dir/baselines/lower_bound.cpp.o"
+  "CMakeFiles/vroom_baselines.dir/baselines/lower_bound.cpp.o.d"
+  "CMakeFiles/vroom_baselines.dir/baselines/polaris.cpp.o"
+  "CMakeFiles/vroom_baselines.dir/baselines/polaris.cpp.o.d"
+  "CMakeFiles/vroom_baselines.dir/baselines/strategies.cpp.o"
+  "CMakeFiles/vroom_baselines.dir/baselines/strategies.cpp.o.d"
+  "CMakeFiles/vroom_baselines.dir/baselines/vroom_polaris.cpp.o"
+  "CMakeFiles/vroom_baselines.dir/baselines/vroom_polaris.cpp.o.d"
+  "libvroom_baselines.a"
+  "libvroom_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vroom_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

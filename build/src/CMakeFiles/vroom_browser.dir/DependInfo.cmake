@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/browser/browser.cpp" "src/CMakeFiles/vroom_browser.dir/browser/browser.cpp.o" "gcc" "src/CMakeFiles/vroom_browser.dir/browser/browser.cpp.o.d"
+  "/root/repo/src/browser/cache.cpp" "src/CMakeFiles/vroom_browser.dir/browser/cache.cpp.o" "gcc" "src/CMakeFiles/vroom_browser.dir/browser/cache.cpp.o.d"
+  "/root/repo/src/browser/cpu_model.cpp" "src/CMakeFiles/vroom_browser.dir/browser/cpu_model.cpp.o" "gcc" "src/CMakeFiles/vroom_browser.dir/browser/cpu_model.cpp.o.d"
+  "/root/repo/src/browser/critical_path.cpp" "src/CMakeFiles/vroom_browser.dir/browser/critical_path.cpp.o" "gcc" "src/CMakeFiles/vroom_browser.dir/browser/critical_path.cpp.o.d"
+  "/root/repo/src/browser/metrics.cpp" "src/CMakeFiles/vroom_browser.dir/browser/metrics.cpp.o" "gcc" "src/CMakeFiles/vroom_browser.dir/browser/metrics.cpp.o.d"
+  "/root/repo/src/browser/task_queue.cpp" "src/CMakeFiles/vroom_browser.dir/browser/task_queue.cpp.o" "gcc" "src/CMakeFiles/vroom_browser.dir/browser/task_queue.cpp.o.d"
+  "/root/repo/src/browser/wprof.cpp" "src/CMakeFiles/vroom_browser.dir/browser/wprof.cpp.o" "gcc" "src/CMakeFiles/vroom_browser.dir/browser/wprof.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vroom_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vroom_browser.dir/browser/browser.cpp.o"
+  "CMakeFiles/vroom_browser.dir/browser/browser.cpp.o.d"
+  "CMakeFiles/vroom_browser.dir/browser/cache.cpp.o"
+  "CMakeFiles/vroom_browser.dir/browser/cache.cpp.o.d"
+  "CMakeFiles/vroom_browser.dir/browser/cpu_model.cpp.o"
+  "CMakeFiles/vroom_browser.dir/browser/cpu_model.cpp.o.d"
+  "CMakeFiles/vroom_browser.dir/browser/critical_path.cpp.o"
+  "CMakeFiles/vroom_browser.dir/browser/critical_path.cpp.o.d"
+  "CMakeFiles/vroom_browser.dir/browser/metrics.cpp.o"
+  "CMakeFiles/vroom_browser.dir/browser/metrics.cpp.o.d"
+  "CMakeFiles/vroom_browser.dir/browser/task_queue.cpp.o"
+  "CMakeFiles/vroom_browser.dir/browser/task_queue.cpp.o.d"
+  "CMakeFiles/vroom_browser.dir/browser/wprof.cpp.o"
+  "CMakeFiles/vroom_browser.dir/browser/wprof.cpp.o.d"
+  "libvroom_browser.a"
+  "libvroom_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vroom_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

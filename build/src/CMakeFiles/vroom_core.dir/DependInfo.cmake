@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cpp" "src/CMakeFiles/vroom_core.dir/core/accuracy.cpp.o" "gcc" "src/CMakeFiles/vroom_core.dir/core/accuracy.cpp.o.d"
+  "/root/repo/src/core/client_scheduler.cpp" "src/CMakeFiles/vroom_core.dir/core/client_scheduler.cpp.o" "gcc" "src/CMakeFiles/vroom_core.dir/core/client_scheduler.cpp.o.d"
+  "/root/repo/src/core/hint_generator.cpp" "src/CMakeFiles/vroom_core.dir/core/hint_generator.cpp.o" "gcc" "src/CMakeFiles/vroom_core.dir/core/hint_generator.cpp.o.d"
+  "/root/repo/src/core/offline_resolver.cpp" "src/CMakeFiles/vroom_core.dir/core/offline_resolver.cpp.o" "gcc" "src/CMakeFiles/vroom_core.dir/core/offline_resolver.cpp.o.d"
+  "/root/repo/src/core/online_analyzer.cpp" "src/CMakeFiles/vroom_core.dir/core/online_analyzer.cpp.o" "gcc" "src/CMakeFiles/vroom_core.dir/core/online_analyzer.cpp.o.d"
+  "/root/repo/src/core/type_sharing.cpp" "src/CMakeFiles/vroom_core.dir/core/type_sharing.cpp.o" "gcc" "src/CMakeFiles/vroom_core.dir/core/type_sharing.cpp.o.d"
+  "/root/repo/src/core/vroom_provider.cpp" "src/CMakeFiles/vroom_core.dir/core/vroom_provider.cpp.o" "gcc" "src/CMakeFiles/vroom_core.dir/core/vroom_provider.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vroom_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

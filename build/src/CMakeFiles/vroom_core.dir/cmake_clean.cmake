@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vroom_core.dir/core/accuracy.cpp.o"
+  "CMakeFiles/vroom_core.dir/core/accuracy.cpp.o.d"
+  "CMakeFiles/vroom_core.dir/core/client_scheduler.cpp.o"
+  "CMakeFiles/vroom_core.dir/core/client_scheduler.cpp.o.d"
+  "CMakeFiles/vroom_core.dir/core/hint_generator.cpp.o"
+  "CMakeFiles/vroom_core.dir/core/hint_generator.cpp.o.d"
+  "CMakeFiles/vroom_core.dir/core/offline_resolver.cpp.o"
+  "CMakeFiles/vroom_core.dir/core/offline_resolver.cpp.o.d"
+  "CMakeFiles/vroom_core.dir/core/online_analyzer.cpp.o"
+  "CMakeFiles/vroom_core.dir/core/online_analyzer.cpp.o.d"
+  "CMakeFiles/vroom_core.dir/core/type_sharing.cpp.o"
+  "CMakeFiles/vroom_core.dir/core/type_sharing.cpp.o.d"
+  "CMakeFiles/vroom_core.dir/core/vroom_provider.cpp.o"
+  "CMakeFiles/vroom_core.dir/core/vroom_provider.cpp.o.d"
+  "libvroom_core.a"
+  "libvroom_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vroom_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

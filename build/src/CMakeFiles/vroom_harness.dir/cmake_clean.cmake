@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vroom_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/vroom_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/vroom_harness.dir/harness/export.cpp.o"
+  "CMakeFiles/vroom_harness.dir/harness/export.cpp.o.d"
+  "CMakeFiles/vroom_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/vroom_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/vroom_harness.dir/harness/stats.cpp.o"
+  "CMakeFiles/vroom_harness.dir/harness/stats.cpp.o.d"
+  "libvroom_harness.a"
+  "libvroom_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vroom_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/connection_pool.cpp" "src/CMakeFiles/vroom_http.dir/http/connection_pool.cpp.o" "gcc" "src/CMakeFiles/vroom_http.dir/http/connection_pool.cpp.o.d"
+  "/root/repo/src/http/headers.cpp" "src/CMakeFiles/vroom_http.dir/http/headers.cpp.o" "gcc" "src/CMakeFiles/vroom_http.dir/http/headers.cpp.o.d"
+  "/root/repo/src/http/http1.cpp" "src/CMakeFiles/vroom_http.dir/http/http1.cpp.o" "gcc" "src/CMakeFiles/vroom_http.dir/http/http1.cpp.o.d"
+  "/root/repo/src/http/http2.cpp" "src/CMakeFiles/vroom_http.dir/http/http2.cpp.o" "gcc" "src/CMakeFiles/vroom_http.dir/http/http2.cpp.o.d"
+  "/root/repo/src/http/message.cpp" "src/CMakeFiles/vroom_http.dir/http/message.cpp.o" "gcc" "src/CMakeFiles/vroom_http.dir/http/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vroom_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vroom_http.dir/http/connection_pool.cpp.o"
+  "CMakeFiles/vroom_http.dir/http/connection_pool.cpp.o.d"
+  "CMakeFiles/vroom_http.dir/http/headers.cpp.o"
+  "CMakeFiles/vroom_http.dir/http/headers.cpp.o.d"
+  "CMakeFiles/vroom_http.dir/http/http1.cpp.o"
+  "CMakeFiles/vroom_http.dir/http/http1.cpp.o.d"
+  "CMakeFiles/vroom_http.dir/http/http2.cpp.o"
+  "CMakeFiles/vroom_http.dir/http/http2.cpp.o.d"
+  "CMakeFiles/vroom_http.dir/http/message.cpp.o"
+  "CMakeFiles/vroom_http.dir/http/message.cpp.o.d"
+  "libvroom_http.a"
+  "libvroom_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vroom_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

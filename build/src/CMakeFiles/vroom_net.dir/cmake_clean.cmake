@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vroom_net.dir/net/link.cpp.o"
+  "CMakeFiles/vroom_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/vroom_net.dir/net/network.cpp.o"
+  "CMakeFiles/vroom_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/vroom_net.dir/net/tcp.cpp.o"
+  "CMakeFiles/vroom_net.dir/net/tcp.cpp.o.d"
+  "libvroom_net.a"
+  "libvroom_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vroom_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

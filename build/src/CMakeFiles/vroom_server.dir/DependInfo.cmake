@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/origin_server.cpp" "src/CMakeFiles/vroom_server.dir/server/origin_server.cpp.o" "gcc" "src/CMakeFiles/vroom_server.dir/server/origin_server.cpp.o.d"
+  "/root/repo/src/server/replay_store.cpp" "src/CMakeFiles/vroom_server.dir/server/replay_store.cpp.o" "gcc" "src/CMakeFiles/vroom_server.dir/server/replay_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vroom_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vroom_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

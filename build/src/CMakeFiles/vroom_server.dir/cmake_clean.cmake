@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vroom_server.dir/server/origin_server.cpp.o"
+  "CMakeFiles/vroom_server.dir/server/origin_server.cpp.o.d"
+  "CMakeFiles/vroom_server.dir/server/replay_store.cpp.o"
+  "CMakeFiles/vroom_server.dir/server/replay_store.cpp.o.d"
+  "libvroom_server.a"
+  "libvroom_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vroom_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vroom_sim.dir/sim/event_loop.cpp.o"
+  "CMakeFiles/vroom_sim.dir/sim/event_loop.cpp.o.d"
+  "CMakeFiles/vroom_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/vroom_sim.dir/sim/random.cpp.o.d"
+  "libvroom_sim.a"
+  "libvroom_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vroom_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/amp.cpp" "src/CMakeFiles/vroom_web.dir/web/amp.cpp.o" "gcc" "src/CMakeFiles/vroom_web.dir/web/amp.cpp.o.d"
+  "/root/repo/src/web/corpus.cpp" "src/CMakeFiles/vroom_web.dir/web/corpus.cpp.o" "gcc" "src/CMakeFiles/vroom_web.dir/web/corpus.cpp.o.d"
+  "/root/repo/src/web/device.cpp" "src/CMakeFiles/vroom_web.dir/web/device.cpp.o" "gcc" "src/CMakeFiles/vroom_web.dir/web/device.cpp.o.d"
+  "/root/repo/src/web/html_scanner.cpp" "src/CMakeFiles/vroom_web.dir/web/html_scanner.cpp.o" "gcc" "src/CMakeFiles/vroom_web.dir/web/html_scanner.cpp.o.d"
+  "/root/repo/src/web/page_generator.cpp" "src/CMakeFiles/vroom_web.dir/web/page_generator.cpp.o" "gcc" "src/CMakeFiles/vroom_web.dir/web/page_generator.cpp.o.d"
+  "/root/repo/src/web/page_instance.cpp" "src/CMakeFiles/vroom_web.dir/web/page_instance.cpp.o" "gcc" "src/CMakeFiles/vroom_web.dir/web/page_instance.cpp.o.d"
+  "/root/repo/src/web/page_model.cpp" "src/CMakeFiles/vroom_web.dir/web/page_model.cpp.o" "gcc" "src/CMakeFiles/vroom_web.dir/web/page_model.cpp.o.d"
+  "/root/repo/src/web/resource.cpp" "src/CMakeFiles/vroom_web.dir/web/resource.cpp.o" "gcc" "src/CMakeFiles/vroom_web.dir/web/resource.cpp.o.d"
+  "/root/repo/src/web/trace_io.cpp" "src/CMakeFiles/vroom_web.dir/web/trace_io.cpp.o" "gcc" "src/CMakeFiles/vroom_web.dir/web/trace_io.cpp.o.d"
+  "/root/repo/src/web/url.cpp" "src/CMakeFiles/vroom_web.dir/web/url.cpp.o" "gcc" "src/CMakeFiles/vroom_web.dir/web/url.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vroom_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

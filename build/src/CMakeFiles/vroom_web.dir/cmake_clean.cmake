@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vroom_web.dir/web/amp.cpp.o"
+  "CMakeFiles/vroom_web.dir/web/amp.cpp.o.d"
+  "CMakeFiles/vroom_web.dir/web/corpus.cpp.o"
+  "CMakeFiles/vroom_web.dir/web/corpus.cpp.o.d"
+  "CMakeFiles/vroom_web.dir/web/device.cpp.o"
+  "CMakeFiles/vroom_web.dir/web/device.cpp.o.d"
+  "CMakeFiles/vroom_web.dir/web/html_scanner.cpp.o"
+  "CMakeFiles/vroom_web.dir/web/html_scanner.cpp.o.d"
+  "CMakeFiles/vroom_web.dir/web/page_generator.cpp.o"
+  "CMakeFiles/vroom_web.dir/web/page_generator.cpp.o.d"
+  "CMakeFiles/vroom_web.dir/web/page_instance.cpp.o"
+  "CMakeFiles/vroom_web.dir/web/page_instance.cpp.o.d"
+  "CMakeFiles/vroom_web.dir/web/page_model.cpp.o"
+  "CMakeFiles/vroom_web.dir/web/page_model.cpp.o.d"
+  "CMakeFiles/vroom_web.dir/web/resource.cpp.o"
+  "CMakeFiles/vroom_web.dir/web/resource.cpp.o.d"
+  "CMakeFiles/vroom_web.dir/web/trace_io.cpp.o"
+  "CMakeFiles/vroom_web.dir/web/trace_io.cpp.o.d"
+  "CMakeFiles/vroom_web.dir/web/url.cpp.o"
+  "CMakeFiles/vroom_web.dir/web/url.cpp.o.d"
+  "libvroom_web.a"
+  "libvroom_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vroom_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/http_test[1]_include.cmake")
+include("/root/repo/build/tests/web_test[1]_include.cmake")
+include("/root/repo/build/tests/browser_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
