@@ -15,11 +15,13 @@ void sweep(const char* label, const net::NetworkConfig& cfg,
   harness::RunOptions opt = bench::default_options();
   opt.network = cfg;
   opt.loads_per_page = 1;
-  harness::print_quartile_bars(
-      label, "seconds PLT",
-      {bench::plt_series(corpus, baselines::vroom(), opt),
-       bench::plt_series(corpus, baselines::http2_baseline(), opt),
-       bench::plt_series(corpus, baselines::http11(), opt)});
+  const auto results = bench::run_matrix(
+      corpus,
+      {baselines::vroom(), baselines::http2_baseline(), baselines::http11()},
+      opt);
+  std::vector<harness::Series> series;
+  for (const auto& r : results) series.push_back({r.strategy, r.plt_seconds()});
+  harness::print_quartile_bars(label, "seconds PLT", series);
 }
 
 }  // namespace

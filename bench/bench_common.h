@@ -3,12 +3,15 @@
 // Every bench prints the same rows/series as the corresponding figure in the
 // paper (shape reproduction; absolute values come from the simulated device
 // and link, see EXPERIMENTS.md). Set VROOM_BENCH_PAGES=<n> to cap corpus
-// size for quick runs.
+// size for quick runs and VROOM_JOBS=<n> to size the worker pool (results
+// are bit-identical for any worker count; fleet telemetry goes to stderr).
 #pragma once
 
 #include <cstdio>
+#include <vector>
 
 #include "baselines/strategies.h"
+#include "fleet/fleet.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "harness/stats.h"
@@ -22,6 +25,20 @@ inline harness::RunOptions default_options() {
   harness::RunOptions opt;
   opt.seed = kSeed;
   return opt;
+}
+
+// Fans the whole strategy grid through one fleet queue and prints the run's
+// telemetry to stderr — stdout carries only the deterministic tables.
+inline std::vector<harness::CorpusResult> run_matrix(
+    const web::Corpus& corpus,
+    const std::vector<baselines::Strategy>& strategies,
+    const harness::RunOptions& opt) {
+  fleet::Telemetry telemetry;
+  fleet::FleetOptions fo;
+  fo.telemetry = &telemetry;
+  auto results = fleet::run_matrix(corpus, strategies, opt, fo);
+  telemetry.print(stderr);
+  return results;
 }
 
 inline harness::Series plt_series(const web::Corpus& corpus,

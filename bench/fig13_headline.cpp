@@ -12,11 +12,20 @@ int main() {
   const harness::RunOptions opt = bench::default_options();
   const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
 
-  auto lb_net = harness::run_corpus(ns, baselines::lower_bound_network(), opt);
-  auto lb_cpu = harness::run_corpus(ns, baselines::lower_bound_cpu(), opt);
-  auto vr = harness::run_corpus(ns, baselines::vroom(), opt);
-  auto h2 = harness::run_corpus(ns, baselines::http2_baseline(), opt);
-  auto h1 = harness::run_corpus(ns, baselines::http11(), opt);
+  // One fleet matrix covers every News+Sports series (including the §6.1
+  // first-party-only run) so all jobs share one worker pool.
+  const auto ns_results = bench::run_matrix(
+      ns,
+      {baselines::lower_bound_network(), baselines::lower_bound_cpu(),
+       baselines::vroom(), baselines::http2_baseline(), baselines::http11(),
+       baselines::vroom_first_party_only()},
+      opt);
+  const auto& lb_net = ns_results[0];
+  const auto& lb_cpu = ns_results[1];
+  const auto& vr = ns_results[2];
+  const auto& h2 = ns_results[3];
+  const auto& h1 = ns_results[4];
+  const auto& partial = ns_results[5];
 
   auto bound_of = [&](auto getter) {
     std::vector<double> out;
@@ -54,10 +63,10 @@ int main() {
 
   // §6.1 text results.
   const web::Corpus mixed = web::Corpus::mixed400_sample(bench::kSeed);
-  auto mixed_h2 = harness::run_corpus(mixed, baselines::http2_baseline(), opt);
-  auto mixed_vr = harness::run_corpus(mixed, baselines::vroom(), opt);
-  auto partial =
-      harness::run_corpus(ns, baselines::vroom_first_party_only(), opt);
+  const auto mixed_results = bench::run_matrix(
+      mixed, {baselines::http2_baseline(), baselines::vroom()}, opt);
+  const auto& mixed_h2 = mixed_results[0];
+  const auto& mixed_vr = mixed_results[1];
 
   std::printf("\n-- §6.1 text results --\n");
   harness::print_stat("Mixed-400 median PLT, HTTP/2",

@@ -1,0 +1,161 @@
+#include "fleet/fleet.h"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "fleet/job_queue.h"
+#include "sim/random.h"
+
+namespace vroom::fleet {
+
+namespace {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int hardware_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+int resolve_worker_count(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("VROOM_JOBS")) {
+    int value = 0;
+    const char* end = env + std::strlen(env);
+    const auto [ptr, ec] = std::from_chars(env, end, value);
+    if (ec == std::errc() && ptr == end && value > 0) return value;
+    std::fprintf(stderr,
+                 "[fleet] warning: ignoring invalid VROOM_JOBS=\"%s\" "
+                 "(want a positive integer); using %d workers\n",
+                 env, hardware_workers());
+  }
+  return hardware_workers();
+}
+
+std::vector<harness::CorpusResult> run_matrix(
+    const web::Corpus& corpus,
+    const std::vector<baselines::Strategy>& strategies,
+    const harness::RunOptions& options, const FleetOptions& fleet) {
+  const int n_strategies = static_cast<int>(strategies.size());
+  const int n_pages = harness::effective_page_count(
+      static_cast<int>(corpus.size()));
+  const int loads = options.loads_per_page;
+
+  std::vector<harness::CorpusResult> results(
+      static_cast<std::size_t>(n_strategies));
+  for (int s = 0; s < n_strategies; ++s) {
+    results[static_cast<std::size_t>(s)].strategy =
+        strategies[static_cast<std::size_t>(s)].name;
+  }
+
+  JobQueue queue(JobQueue::grid(n_strategies, n_pages, loads));
+
+  int workers = resolve_worker_count(fleet.workers);
+  // A shared warm cache is mutated in load order; parallel execution would
+  // change which loads hit it. Degrade to the serial order instead.
+  if (options.cache != nullptr) workers = 1;
+  if (queue.size() < static_cast<std::size_t>(workers)) {
+    workers = static_cast<int>(queue.size());
+  }
+  if (workers < 1) workers = 1;
+
+  Telemetry local_telemetry;
+  Telemetry* telemetry =
+      fleet.telemetry != nullptr ? fleet.telemetry : &local_telemetry;
+  telemetry->begin_run(workers, queue.size());
+
+  // Flat result grid, one pre-assigned slot per job: workers never write to
+  // overlapping memory, and claim order cannot affect where results land.
+  std::vector<browser::LoadResult> grid(queue.size());
+  auto slot = [n_pages, loads](const Job& job) -> std::size_t {
+    return (static_cast<std::size_t>(job.strategy_index) *
+                static_cast<std::size_t>(n_pages) +
+            static_cast<std::size_t>(job.page_index)) *
+               static_cast<std::size_t>(loads) +
+           static_cast<std::size_t>(job.load_index);
+  };
+
+  auto worker_loop = [&](int worker_id) {
+    while (std::optional<Job> job = queue.pop()) {
+      telemetry->job_started(worker_id);
+      const double started = monotonic_seconds();
+      const web::PageModel& page =
+          corpus.page(static_cast<std::size_t>(job->page_index));
+      // Seed derivation matches harness::run_page_median exactly: the nonce
+      // depends only on (seed, page id, load index).
+      const std::uint64_t nonce = sim::derive_seed(
+          options.seed ^ page.page_id(),
+          "load-nonce-" + std::to_string(job->load_index));
+      browser::LoadResult result = harness::run_page_load(
+          page, strategies[static_cast<std::size_t>(job->strategy_index)],
+          options, nonce);
+      const sim::Time simulated = result.plt;
+      grid[slot(*job)] = std::move(result);
+      telemetry->job_finished(worker_id, monotonic_seconds() - started,
+                              simulated);
+    }
+  };
+
+  if (workers == 1) {
+    // Serial path: drain the queue on the calling thread. Grid order is
+    // strategy-major then page-major then load-major — the exact visit
+    // order of the historical serial sweep.
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back(worker_loop, w);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  telemetry->end_run();
+
+  // Median selection in load-index order, identical to run_page_median.
+  for (int s = 0; s < n_strategies; ++s) {
+    auto& out = results[static_cast<std::size_t>(s)];
+    out.loads.reserve(static_cast<std::size_t>(n_pages));
+    for (int p = 0; p < n_pages; ++p) {
+      std::vector<browser::LoadResult> runs;
+      runs.reserve(static_cast<std::size_t>(loads));
+      for (int l = 0; l < loads; ++l) {
+        runs.push_back(std::move(grid[slot(Job{s, p, l})]));
+      }
+      out.loads.push_back(harness::select_median_load(std::move(runs)));
+    }
+  }
+  return results;
+}
+
+harness::CorpusResult run_corpus(const web::Corpus& corpus,
+                                 const baselines::Strategy& strategy,
+                                 const harness::RunOptions& options,
+                                 const FleetOptions& fleet) {
+  return std::move(
+      run_matrix(corpus, {strategy}, options, fleet).front());
+}
+
+}  // namespace vroom::fleet
+
+namespace vroom::harness {
+
+// The canonical corpus sweep now rides the fleet. Declared in
+// harness/experiment.h; defined here so the harness library stays free of
+// threading concerns (and of a link cycle with the fleet).
+CorpusResult run_corpus(const web::Corpus& corpus,
+                        const baselines::Strategy& strategy,
+                        const RunOptions& options) {
+  return fleet::run_corpus(corpus, strategy, options);
+}
+
+}  // namespace vroom::harness

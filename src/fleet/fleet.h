@@ -1,0 +1,51 @@
+// Parallel simulation fleet: executes corpus sweeps on a worker thread pool.
+//
+// Every (strategy, page, load) job builds a fully private simulation world
+// (event loop, network, page instance, servers, browser) exactly as the
+// serial harness does, and derives its seeds purely from the job's identity
+// — (options.seed, page id, load index) — never from execution order. The
+// determinism contract: fleet output is bit-identical to the serial sweep
+// for any worker count. `VROOM_JOBS=1` additionally preserves the serial
+// execution *order*, not just its results.
+//
+// Warm-cache runs (RunOptions::cache != nullptr) share one mutable cache
+// whose state depends on load order, so the fleet degrades them to a single
+// worker automatically rather than silently changing semantics.
+#pragma once
+
+#include <vector>
+
+#include "fleet/telemetry.h"
+#include "harness/experiment.h"
+
+namespace vroom::fleet {
+
+struct FleetOptions {
+  // Worker threads. 0 means "resolve": take VROOM_JOBS from the environment
+  // if set and valid, else std::thread::hardware_concurrency().
+  int workers = 0;
+  // Optional sink for run telemetry; caller-owned, overwritten per run.
+  Telemetry* telemetry = nullptr;
+};
+
+// Resolves a worker count: `requested` > 0 wins; otherwise VROOM_JOBS
+// (invalid values warn on stderr and fall through); otherwise the hardware
+// concurrency (at least 1).
+int resolve_worker_count(int requested);
+
+// Sweeps one strategy over the corpus. Same contract as the serial
+// harness::run_corpus: one median-of-N load per page, in page order.
+harness::CorpusResult run_corpus(const web::Corpus& corpus,
+                                 const baselines::Strategy& strategy,
+                                 const harness::RunOptions& options,
+                                 const FleetOptions& fleet = {});
+
+// Fans an entire strategy × corpus grid through one shared job queue, so
+// slow strategies don't serialize behind fast ones. Results are returned in
+// strategy order, each bit-identical to a standalone run_corpus call.
+std::vector<harness::CorpusResult> run_matrix(
+    const web::Corpus& corpus,
+    const std::vector<baselines::Strategy>& strategies,
+    const harness::RunOptions& options, const FleetOptions& fleet = {});
+
+}  // namespace vroom::fleet

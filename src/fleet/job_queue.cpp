@@ -1,0 +1,34 @@
+#include "fleet/job_queue.h"
+
+namespace vroom::fleet {
+
+JobQueue::JobQueue(std::vector<Job> jobs) : jobs_(std::move(jobs)) {}
+
+std::optional<Job> JobQueue::pop() {
+  const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (i >= jobs_.size()) return std::nullopt;
+  return jobs_[i];
+}
+
+std::size_t JobQueue::remaining() const {
+  const std::size_t claimed = cursor_.load(std::memory_order_relaxed);
+  return claimed >= jobs_.size() ? 0 : jobs_.size() - claimed;
+}
+
+std::vector<Job> JobQueue::grid(int strategies, int pages,
+                                int loads_per_page) {
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(strategies) *
+               static_cast<std::size_t>(pages) *
+               static_cast<std::size_t>(loads_per_page));
+  for (int s = 0; s < strategies; ++s) {
+    for (int p = 0; p < pages; ++p) {
+      for (int l = 0; l < loads_per_page; ++l) {
+        jobs.push_back(Job{s, p, l});
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace vroom::fleet

@@ -1,0 +1,46 @@
+// Work distribution for the parallel simulation fleet.
+//
+// A sweep is flattened into a fixed vector of jobs up front — one job per
+// (strategy, page, load) triple — and workers claim jobs through an atomic
+// cursor. Because every job carries the indices needed to derive its seed
+// and to address its result slot, claim *order* never affects output:
+// results land in pre-assigned slots and seeding depends only on the job's
+// identity, never on which worker ran it or when.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace vroom::fleet {
+
+// One unit of work: a single load of a single page under a single strategy.
+struct Job {
+  int strategy_index = 0;
+  int page_index = 0;
+  int load_index = 0;
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::vector<Job> jobs);
+
+  // Claims the next job, or nullopt when the queue is drained. Safe to call
+  // from any number of threads concurrently.
+  std::optional<Job> pop();
+
+  std::size_t size() const { return jobs_.size(); }
+  // Jobs not yet claimed. Racy by nature; useful for progress telemetry only.
+  std::size_t remaining() const;
+
+  // Builds the flattened (strategy, page, load) grid in the exact order the
+  // serial sweep visits it, so a single-worker drain replays the serial path.
+  static std::vector<Job> grid(int strategies, int pages, int loads_per_page);
+
+ private:
+  std::vector<Job> jobs_;
+  std::atomic<std::size_t> cursor_{0};
+};
+
+}  // namespace vroom::fleet

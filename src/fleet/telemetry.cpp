@@ -1,0 +1,90 @@
+#include "fleet/telemetry.h"
+
+#include <chrono>
+
+namespace vroom::fleet {
+
+namespace {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void Telemetry::begin_run(int workers, std::size_t jobs_submitted) {
+  workers_ = workers;
+  jobs_submitted_ = jobs_submitted;
+  wall_seconds_ = 0;
+  slots_.assign(static_cast<std::size_t>(workers), WorkerSlot{});
+  completed_.store(0, std::memory_order_relaxed);
+  in_flight_.store(0, std::memory_order_relaxed);
+  peak_in_flight_.store(0, std::memory_order_relaxed);
+  wall_start_ = monotonic_seconds();
+}
+
+void Telemetry::end_run() { wall_seconds_ = monotonic_seconds() - wall_start_; }
+
+void Telemetry::job_started(int worker) {
+  (void)worker;
+  const int now = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int peak = peak_in_flight_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_in_flight_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void Telemetry::job_finished(int worker, double wall_seconds,
+                             sim::Time simulated) {
+  WorkerSlot& slot = slots_[static_cast<std::size_t>(worker)];
+  slot.busy_seconds += wall_seconds;
+  slot.simulated_seconds += sim::to_seconds(simulated);
+  slot.job_seconds.push_back(wall_seconds);
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+TelemetrySummary Telemetry::summary() const {
+  TelemetrySummary s;
+  s.workers = workers_;
+  s.jobs_submitted = jobs_submitted_;
+  s.jobs_completed = completed_.load(std::memory_order_relaxed);
+  s.peak_in_flight = peak_in_flight_.load(std::memory_order_relaxed);
+  s.wall_seconds = wall_seconds_;
+  std::vector<double> all_jobs;
+  for (const WorkerSlot& slot : slots_) {
+    s.worker_busy_seconds.push_back(slot.busy_seconds);
+    s.busy_seconds_total += slot.busy_seconds;
+    s.simulated_seconds += slot.simulated_seconds;
+    all_jobs.insert(all_jobs.end(), slot.job_seconds.begin(),
+                    slot.job_seconds.end());
+  }
+  if (s.wall_seconds > 0) {
+    s.jobs_per_second = static_cast<double>(s.jobs_completed) / s.wall_seconds;
+    s.sim_to_wall_ratio = s.simulated_seconds / s.wall_seconds;
+    if (s.workers > 0) {
+      s.utilization = s.busy_seconds_total / (s.wall_seconds * s.workers);
+    }
+  }
+  s.job_seconds = harness::quartiles(all_jobs);
+  return s;
+}
+
+void Telemetry::print(std::FILE* out) const {
+  const TelemetrySummary s = summary();
+  std::fprintf(out,
+               "[fleet] workers=%d jobs=%zu/%zu wall=%.3fs "
+               "throughput=%.1f jobs/s peak_in_flight=%d\n",
+               s.workers, s.jobs_completed, s.jobs_submitted, s.wall_seconds,
+               s.jobs_per_second, s.peak_in_flight);
+  std::fprintf(out,
+               "[fleet] busy=%.3fs (utilization %.0f%%)  simulated=%.1fs "
+               "(%.0fx wall)  job p25/p50/p75=%.3f/%.3f/%.3fs\n",
+               s.busy_seconds_total, s.utilization * 100, s.simulated_seconds,
+               s.sim_to_wall_ratio, s.job_seconds.p25, s.job_seconds.p50,
+               s.job_seconds.p75);
+}
+
+}  // namespace vroom::fleet

@@ -1,0 +1,76 @@
+// Run telemetry for fleet sweeps.
+//
+// Workers report into private per-worker slots (no contention on the hot
+// path); only the in-flight gauge and the completion counter are shared
+// atomics. Aggregation happens in summary(), which callers invoke after the
+// pool has joined. Printing goes wherever the caller points it — benches
+// send it to stderr so stdout stays byte-identical across worker counts.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <vector>
+
+#include "harness/stats.h"
+#include "sim/time.h"
+
+namespace vroom::fleet {
+
+struct TelemetrySummary {
+  int workers = 0;
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;
+  int peak_in_flight = 0;
+  double wall_seconds = 0;        // begin_run() .. end_run()
+  double jobs_per_second = 0;
+  double busy_seconds_total = 0;  // summed across workers
+  double utilization = 0;         // busy / (wall * workers)
+  std::vector<double> worker_busy_seconds;
+  double simulated_seconds = 0;   // summed virtual time of all loads
+  double sim_to_wall_ratio = 0;   // how much faster than real time we simulate
+  harness::Quartiles job_seconds; // per-job wall-time distribution
+};
+
+class Telemetry {
+ public:
+  // Sizes the per-worker slots and starts the wall clock. Must be called
+  // before any worker reports; resets any previous run.
+  void begin_run(int workers, std::size_t jobs_submitted);
+  void end_run();  // stops the wall clock; call after joining the pool
+
+  // Worker-side hooks. `worker` indexes [0, workers). job_started /
+  // job_finished bracket each job; the finished hook records the job's wall
+  // duration and the virtual time its simulation covered.
+  void job_started(int worker);
+  void job_finished(int worker, double wall_seconds, sim::Time simulated);
+
+  std::size_t jobs_submitted() const { return jobs_submitted_; }
+  std::size_t jobs_completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+  // Aggregates. Only valid once the pool has joined (no concurrent writers).
+  TelemetrySummary summary() const;
+
+  // One-paragraph human-readable dump of summary().
+  void print(std::FILE* out) const;
+
+ private:
+  struct alignas(64) WorkerSlot {  // cache-line padded: no false sharing
+    double busy_seconds = 0;
+    double simulated_seconds = 0;
+    std::vector<double> job_seconds;
+  };
+
+  int workers_ = 0;
+  std::size_t jobs_submitted_ = 0;
+  double wall_seconds_ = 0;
+  double wall_start_ = 0;  // monotonic clock, seconds
+  std::vector<WorkerSlot> slots_;
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<int> in_flight_{0};
+  std::atomic<int> peak_in_flight_{0};
+};
+
+}  // namespace vroom::fleet

@@ -1,7 +1,10 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "core/client_scheduler.h"
@@ -13,11 +16,19 @@
 namespace vroom::harness {
 
 int effective_page_count(int n) {
-  if (const char* env = std::getenv("VROOM_BENCH_PAGES")) {
-    const int cap = std::atoi(env);
-    if (cap > 0) return std::min(n, cap);
+  const char* env = std::getenv("VROOM_BENCH_PAGES");
+  if (env == nullptr) return n;
+  int cap = 0;
+  const char* end = env + std::strlen(env);
+  const auto [ptr, ec] = std::from_chars(env, end, cap);
+  if (ec != std::errc() || ptr != end || cap <= 0) {
+    std::fprintf(stderr,
+                 "[harness] warning: ignoring invalid VROOM_BENCH_PAGES=\"%s\" "
+                 "(want a positive integer); using the full corpus (%d)\n",
+                 env, n);
+    return n;
   }
-  return n;
+  return std::min(n, cap);
 }
 
 browser::LoadResult run_page_load(const web::PageModel& page,
@@ -106,6 +117,14 @@ browser::LoadResult run_page_load(const web::PageModel& page,
   return result;
 }
 
+browser::LoadResult select_median_load(std::vector<browser::LoadResult> runs) {
+  std::sort(runs.begin(), runs.end(),
+            [](const browser::LoadResult& a, const browser::LoadResult& b) {
+              return a.plt < b.plt;
+            });
+  return std::move(runs[runs.size() / 2]);
+}
+
 browser::LoadResult run_page_median(const web::PageModel& page,
                                     const baselines::Strategy& strategy,
                                     const RunOptions& options) {
@@ -116,26 +135,12 @@ browser::LoadResult run_page_median(const web::PageModel& page,
         options.seed ^ page.page_id(), "load-nonce-" + std::to_string(i));
     runs.push_back(run_page_load(page, strategy, options, nonce));
   }
-  std::sort(runs.begin(), runs.end(),
-            [](const browser::LoadResult& a, const browser::LoadResult& b) {
-              return a.plt < b.plt;
-            });
-  return runs[runs.size() / 2];
+  return select_median_load(std::move(runs));
 }
 
-CorpusResult run_corpus(const web::Corpus& corpus,
-                        const baselines::Strategy& strategy,
-                        const RunOptions& options) {
-  CorpusResult out;
-  out.strategy = strategy.name;
-  const int n = effective_page_count(static_cast<int>(corpus.size()));
-  out.loads.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    out.loads.push_back(run_page_median(corpus.page(static_cast<std::size_t>(i)),
-                                        strategy, options));
-  }
-  return out;
-}
+// run_corpus is defined in fleet/fleet.cpp — the sweep executes on the
+// parallel fleet (VROOM_JOBS workers) and stays bit-identical to this
+// file's serial per-page procedure.
 
 std::vector<double> CorpusResult::plt_seconds() const {
   std::vector<double> v;

@@ -44,6 +44,11 @@ browser::LoadResult run_page_median(const web::PageModel& page,
                                     const baselines::Strategy& strategy,
                                     const RunOptions& options);
 
+// Median selection shared by run_page_median and the parallel fleet: sorts
+// by PLT and keeps the middle load. `runs` must be in load-index order so
+// both paths sort identical input and stay bit-identical.
+browser::LoadResult select_median_load(std::vector<browser::LoadResult> runs);
+
 struct CorpusResult {
   std::string strategy;
   std::vector<browser::LoadResult> loads;  // one per page
@@ -54,12 +59,17 @@ struct CorpusResult {
   std::vector<double> net_wait_fractions() const;
 };
 
+// Sweeps the corpus under one strategy. Defined in fleet/fleet.cpp: the
+// sweep runs on the parallel fleet, with worker count taken from VROOM_JOBS
+// (default: hardware concurrency; VROOM_JOBS=1 preserves the serial order).
+// Results are bit-identical regardless of worker count.
 CorpusResult run_corpus(const web::Corpus& corpus,
                         const baselines::Strategy& strategy,
                         const RunOptions& options);
 
 // Honors VROOM_BENCH_PAGES (environment) to cap corpus size for quick runs;
-// returns `n` unchanged when unset.
+// returns `n` unchanged when unset. Malformed or non-positive values are
+// rejected with a warning on stderr.
 int effective_page_count(int n);
 
 }  // namespace vroom::harness

@@ -1,0 +1,241 @@
+// Fleet runner: parallel sweeps must be bit-identical to the serial path,
+// worker-count resolution must be robust, and telemetry must add up.
+#include "fleet/fleet.h"
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/strategies.h"
+#include "fleet/job_queue.h"
+#include "harness/experiment.h"
+#include "web/corpus.h"
+
+namespace vroom {
+namespace {
+
+// Scoped environment override (POSIX setenv/unsetenv), restored on exit so
+// tests don't leak state into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+void expect_identical(const browser::LoadResult& a,
+                      const browser::LoadResult& b) {
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.plt, b.plt);
+  EXPECT_EQ(a.aft, b.aft);
+  EXPECT_EQ(a.speed_index_ms, b.speed_index_ms);  // bitwise, not approx
+  EXPECT_EQ(a.ttfb, b.ttfb);
+  EXPECT_EQ(a.first_paint, b.first_paint);
+  EXPECT_EQ(a.dom_content_loaded, b.dom_content_loaded);
+  EXPECT_EQ(a.net_wait, b.net_wait);
+  EXPECT_EQ(a.cpu_busy, b.cpu_busy);
+  EXPECT_EQ(a.bytes_fetched, b.bytes_fetched);
+  EXPECT_EQ(a.wasted_bytes, b.wasted_bytes);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  ASSERT_EQ(a.timings.size(), b.timings.size());
+  for (std::size_t i = 0; i < a.timings.size(); ++i) {
+    EXPECT_EQ(a.timings[i].url, b.timings[i].url);
+    EXPECT_EQ(a.timings[i].bytes, b.timings[i].bytes);
+    EXPECT_EQ(a.timings[i].discovered, b.timings[i].discovered);
+    EXPECT_EQ(a.timings[i].requested, b.timings[i].requested);
+    EXPECT_EQ(a.timings[i].complete, b.timings[i].complete);
+    EXPECT_EQ(a.timings[i].processed, b.timings[i].processed);
+  }
+}
+
+void expect_identical(const harness::CorpusResult& a,
+                      const harness::CorpusResult& b) {
+  EXPECT_EQ(a.strategy, b.strategy);
+  ASSERT_EQ(a.loads.size(), b.loads.size());
+  for (std::size_t i = 0; i < a.loads.size(); ++i) {
+    expect_identical(a.loads[i], b.loads[i]);
+  }
+}
+
+harness::RunOptions small_options() {
+  harness::RunOptions opt;
+  opt.seed = 42;
+  return opt;
+}
+
+TEST(JobQueue, GridOrderAndDrain) {
+  auto jobs = fleet::JobQueue::grid(2, 3, 2);
+  ASSERT_EQ(jobs.size(), 12u);
+  // Strategy-major, then page, then load — the serial visit order.
+  EXPECT_EQ(jobs[0].strategy_index, 0);
+  EXPECT_EQ(jobs[0].page_index, 0);
+  EXPECT_EQ(jobs[0].load_index, 0);
+  EXPECT_EQ(jobs[1].load_index, 1);
+  EXPECT_EQ(jobs[2].page_index, 1);
+  EXPECT_EQ(jobs.back().strategy_index, 1);
+  EXPECT_EQ(jobs.back().page_index, 2);
+  EXPECT_EQ(jobs.back().load_index, 1);
+
+  fleet::JobQueue queue(jobs);
+  EXPECT_EQ(queue.size(), 12u);
+  std::size_t popped = 0;
+  while (queue.pop().has_value()) ++popped;
+  EXPECT_EQ(popped, 12u);
+  EXPECT_EQ(queue.remaining(), 0u);
+  EXPECT_FALSE(queue.pop().has_value());  // stays drained
+}
+
+TEST(Fleet, ParallelBitIdenticalToSerial) {
+  ScopedEnv jobs_env("VROOM_JOBS", nullptr);
+  ScopedEnv pages_env("VROOM_BENCH_PAGES", nullptr);
+  const web::Corpus corpus = web::Corpus::smoke(7);
+  const harness::RunOptions opt = small_options();
+
+  for (const auto& strategy :
+       {baselines::http2_baseline(), baselines::vroom()}) {
+    fleet::FleetOptions serial;
+    serial.workers = 1;
+    fleet::FleetOptions parallel;
+    parallel.workers = 4;
+    const auto a = fleet::run_corpus(corpus, strategy, opt, serial);
+    const auto b = fleet::run_corpus(corpus, strategy, opt, parallel);
+    expect_identical(a, b);
+  }
+}
+
+TEST(Fleet, MatrixMatchesPerStrategyRuns) {
+  ScopedEnv jobs_env("VROOM_JOBS", nullptr);
+  ScopedEnv pages_env("VROOM_BENCH_PAGES", nullptr);
+  const web::Corpus corpus = web::Corpus::smoke(7);
+  const harness::RunOptions opt = small_options();
+  const std::vector<baselines::Strategy> strategies = {
+      baselines::http2_baseline(), baselines::vroom()};
+
+  fleet::FleetOptions fo;
+  fo.workers = 3;
+  const auto matrix = fleet::run_matrix(corpus, strategies, opt, fo);
+  ASSERT_EQ(matrix.size(), strategies.size());
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    fleet::FleetOptions serial;
+    serial.workers = 1;
+    expect_identical(matrix[s],
+                     fleet::run_corpus(corpus, strategies[s], opt, serial));
+  }
+}
+
+TEST(Fleet, WorkerCountResolution) {
+  {
+    ScopedEnv env("VROOM_JOBS", nullptr);
+    EXPECT_EQ(fleet::resolve_worker_count(5), 5);  // explicit request wins
+    EXPECT_GE(fleet::resolve_worker_count(0), 1);  // 0 → hardware default
+  }
+  {
+    ScopedEnv env("VROOM_JOBS", "3");
+    EXPECT_EQ(fleet::resolve_worker_count(0), 3);
+    EXPECT_EQ(fleet::resolve_worker_count(2), 2);  // explicit beats env
+  }
+  // Garbage falls back to the hardware default instead of misbehaving.
+  for (const char* bad : {"", "abc", "-4", "0", "8x"}) {
+    ScopedEnv env("VROOM_JOBS", bad);
+    EXPECT_GE(fleet::resolve_worker_count(0), 1) << "VROOM_JOBS=" << bad;
+  }
+}
+
+TEST(Fleet, MoreWorkersThanJobsStillIdentical) {
+  ScopedEnv jobs_env("VROOM_JOBS", nullptr);
+  ScopedEnv pages_env("VROOM_BENCH_PAGES", nullptr);
+  const web::Corpus corpus = web::Corpus::smoke(7, /*count=*/2);
+  harness::RunOptions opt = small_options();
+  opt.loads_per_page = 1;  // 2 jobs total
+
+  fleet::FleetOptions serial;
+  serial.workers = 1;
+  fleet::FleetOptions oversized;
+  oversized.workers = 64;
+  fleet::Telemetry telemetry;
+  oversized.telemetry = &telemetry;
+  const auto a = fleet::run_corpus(corpus, baselines::vroom(), opt, serial);
+  const auto b = fleet::run_corpus(corpus, baselines::vroom(), opt, oversized);
+  expect_identical(a, b);
+  // The pool is clamped to the job count.
+  EXPECT_EQ(telemetry.summary().workers, 2);
+}
+
+TEST(Fleet, TelemetryCountersAddUp) {
+  ScopedEnv jobs_env("VROOM_JOBS", nullptr);
+  ScopedEnv pages_env("VROOM_BENCH_PAGES", nullptr);
+  const web::Corpus corpus = web::Corpus::smoke(7);
+  const harness::RunOptions opt = small_options();
+  const std::vector<baselines::Strategy> strategies = {
+      baselines::http2_baseline(), baselines::vroom()};
+
+  fleet::Telemetry telemetry;
+  fleet::FleetOptions fo;
+  fo.workers = 4;
+  fo.telemetry = &telemetry;
+  const auto results = fleet::run_matrix(corpus, strategies, opt, fo);
+
+  const std::size_t expected_jobs = strategies.size() * corpus.size() *
+                                    static_cast<std::size_t>(opt.loads_per_page);
+  const fleet::TelemetrySummary s = telemetry.summary();
+  EXPECT_EQ(s.jobs_submitted, expected_jobs);
+  EXPECT_EQ(s.jobs_completed, s.jobs_submitted);
+  EXPECT_EQ(s.workers, 4);
+  EXPECT_EQ(s.worker_busy_seconds.size(), 4u);
+  EXPECT_GE(s.peak_in_flight, 1);
+  EXPECT_LE(s.peak_in_flight, s.workers);
+  EXPECT_GT(s.wall_seconds, 0.0);
+  EXPECT_GT(s.busy_seconds_total, 0.0);
+  EXPECT_GT(s.jobs_per_second, 0.0);
+  EXPECT_GT(s.simulated_seconds, 0.0);
+  EXPECT_LE(s.job_seconds.p25, s.job_seconds.p50);
+  EXPECT_LE(s.job_seconds.p50, s.job_seconds.p75);
+  // Per-worker busy times sum to the total the summary reports.
+  double busy = 0;
+  for (double w : s.worker_busy_seconds) busy += w;
+  EXPECT_DOUBLE_EQ(busy, s.busy_seconds_total);
+  // And the sweep still produced one median load per page per strategy.
+  ASSERT_EQ(results.size(), strategies.size());
+  for (const auto& r : results) EXPECT_EQ(r.loads.size(), corpus.size());
+}
+
+TEST(Harness, EffectivePageCountValidation) {
+  {
+    ScopedEnv env("VROOM_BENCH_PAGES", nullptr);
+    EXPECT_EQ(harness::effective_page_count(10), 10);
+  }
+  {
+    ScopedEnv env("VROOM_BENCH_PAGES", "4");
+    EXPECT_EQ(harness::effective_page_count(10), 4);
+    EXPECT_EQ(harness::effective_page_count(2), 2);  // cap never raises
+  }
+  // Garbage and non-positive values are rejected (with a stderr warning)
+  // instead of silently truncating the corpus.
+  for (const char* bad : {"", "abc", "-3", "0", "7pages", "1e3"}) {
+    ScopedEnv env("VROOM_BENCH_PAGES", bad);
+    EXPECT_EQ(harness::effective_page_count(10), 10)
+        << "VROOM_BENCH_PAGES=" << bad;
+  }
+}
+
+}  // namespace
+}  // namespace vroom
