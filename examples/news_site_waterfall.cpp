@@ -3,55 +3,21 @@
 // web-performance engineer would use to see *why* Vroom wins.
 //
 //   $ ./example_news_site_waterfall [page_id]
-#include <algorithm>
+//
+// Set VROOM_TRACE=<dir> to additionally write one Chrome-trace JSON file
+// per load (open in Perfetto / chrome://tracing).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <vector>
 
 #include "baselines/strategies.h"
 #include "harness/experiment.h"
 #include "harness/export.h"
+#include "trace/waterfall.h"
 #include "web/page_generator.h"
 
-namespace {
-
-using namespace vroom;
-
-void print_waterfall(const char* title, const browser::LoadResult& r,
-                     int max_rows) {
-  std::printf("\n--- %s: PLT %.2fs, net-wait %.0f%%, %d requests, %.0f KB "
-              "(%.0f KB wasted) ---\n",
-              title, sim::to_seconds(r.plt), 100 * r.net_wait_fraction(),
-              r.requests, r.bytes_fetched / 1e3, r.wasted_bytes / 1e3);
-  std::vector<const browser::ResourceTiming*> rows;
-  for (const auto& t : r.timings) {
-    if (t.requested != sim::kNever) rows.push_back(&t);
-  }
-  std::sort(rows.begin(), rows.end(),
-            [](const auto* a, const auto* b) {
-              return a->requested < b->requested;
-            });
-  std::printf("%-42s %9s %9s %9s %5s %5s %5s\n", "url", "disc(ms)",
-              "start(ms)", "done(ms)", "hint", "push", "ref");
-  int shown = 0;
-  for (const auto* t : rows) {
-    if (shown++ >= max_rows) break;
-    std::printf("%-42.42s %9.0f %9.0f %9.0f %5s %5s %5s\n", t->url.c_str(),
-                t->discovered == sim::kNever ? -1 : sim::to_ms(t->discovered),
-                sim::to_ms(t->requested),
-                t->complete == sim::kNever ? -1 : sim::to_ms(t->complete),
-                t->hinted ? "y" : "", t->pushed ? "y" : "",
-                t->referenced ? "y" : "ghost");
-  }
-  if (static_cast<int>(rows.size()) > max_rows) {
-    std::printf("  … %zu more requests\n", rows.size() - max_rows);
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace vroom;
   const std::uint32_t page_id =
       argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 3;
   const web::PageModel page =
@@ -65,8 +31,8 @@ int main(int argc, char** argv) {
                                          opt, 1);
   const auto vr = harness::run_page_load(page, baselines::vroom(), opt, 1);
 
-  print_waterfall("HTTP/2 Baseline", h2, 25);
-  print_waterfall("Vroom", vr, 25);
+  std::printf("\n%s", trace::waterfall_table("HTTP/2 Baseline", h2).c_str());
+  std::printf("\n%s", trace::waterfall_table("Vroom", vr).c_str());
 
   std::printf("\nDiscovery completed: %.2fs (HTTP/2) vs %.2fs (Vroom); "
               "high-priority fetches done: %.2fs vs %.2fs\n",
@@ -81,6 +47,13 @@ int main(int argc, char** argv) {
       harness::write_csv("/tmp/waterfall_vroom.csv",
                          harness::timings_to_csv(vr))) {
     std::printf("Wrote /tmp/waterfall_http2.csv and /tmp/waterfall_vroom.csv\n");
+  }
+  if (const char* dir = std::getenv("VROOM_TRACE")) {
+    if (*dir != '\0') {
+      std::printf("Wrote Chrome-trace JSON to %s/ — load a file in\n"
+                  "https://ui.perfetto.dev or chrome://tracing\n",
+                  dir);
+    }
   }
   return 0;
 }

@@ -5,10 +5,15 @@
 //
 // Walks through the public API end to end: generate a page template,
 // realize a load instance, run it under two strategies, read the result.
+// Set VROOM_TRACE=<dir> to also write Chrome-trace JSON files (open in
+// Perfetto / chrome://tracing).
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "baselines/strategies.h"
 #include "harness/experiment.h"
+#include "trace/waterfall.h"
 #include "web/page_generator.h"
 
 int main() {
@@ -31,11 +36,25 @@ int main() {
 
   std::printf("\n%-18s %9s %9s %12s %10s %9s\n", "strategy", "PLT(s)",
               "AFT(s)", "SpeedIdx(ms)", "bytes(KB)", "requests");
+  browser::LoadResult vroom_load;
   for (const auto& s : strategies) {
-    const browser::LoadResult r = harness::run_page_median(page, s, opt);
+    browser::LoadResult r = harness::run_page_median(page, s, opt);
     std::printf("%-18s %9.2f %9.2f %12.0f %10.0f %9d\n", s.name.c_str(),
                 sim::to_seconds(r.plt), sim::to_seconds(r.aft),
                 r.speed_index_ms, r.bytes_fetched / 1e3, r.requests);
+    if (&s == &strategies[2]) vroom_load = std::move(r);
+  }
+
+  // 3. The per-request waterfall of the Vroom load (first 12 requests).
+  trace::WaterfallOptions wf;
+  wf.max_rows = 12;
+  std::printf("\n%s", trace::waterfall_table("Vroom", vroom_load, wf).c_str());
+  if (const char* dir = std::getenv("VROOM_TRACE")) {
+    if (*dir != '\0') {
+      std::printf("\nWrote Chrome-trace JSON to %s/ — load a file in\n"
+                  "https://ui.perfetto.dev or chrome://tracing\n",
+                  dir);
+    }
   }
 
   std::printf(

@@ -3,13 +3,26 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
+#include "trace/trace.h"
 #include "web/url.h"
 
 namespace vroom::browser {
 
 namespace {
+
+const char* reason_name(FetchReason r) {
+  switch (r) {
+    case FetchReason::Document: return "document";
+    case FetchReason::Parser: return "parser";
+    case FetchReason::Hint: return "hint";
+    case FetchReason::Speculative: return "speculative";
+  }
+  return "?";
+}
+
 // Browser-native request priorities (Chrome's scheme, roughly): documents
 // highest, render-blocking CSS/JS next, async scripts, then images/media.
 int native_priority(const std::string& url) {
@@ -106,10 +119,10 @@ void Browser::start() {
     }
     return;
   }
-  reference(0);
+  reference(0, "navigation");
 }
 
-void Browser::reference(std::uint32_t template_id) {
+void Browser::reference(std::uint32_t template_id, const char* how) {
   const web::Resource& res = instance_->model().resource(template_id);
   if (res.post_onload) {
     // Injected after the load event; outside the measurement window.
@@ -120,6 +133,14 @@ void Browser::reference(std::uint32_t template_id) {
   if (fs.referenced) return;
   fs.referenced = true;
   fs.discovered = std::min(fs.discovered, net_.loop().now());
+  if (trace::Recorder* tr = trace::of(net_.loop())) {
+    tr->instant(trace::Layer::Browser, "browser", "loader", "discover",
+                {trace::arg("url", ir.url), trace::arg("via", how)});
+    tr->counters().add("browser.discoveries");
+    if (std::strcmp(how, "preload-scan") == 0) {
+      tr->counters().add("browser.preload_scan_discoveries");
+    }
+  }
   const web::Resource& r = instance_->model().resource(template_id);
   fs.gates_onload = r.blocks_onload;
   if (fs.gates_onload) ++referenced_incomplete_;
@@ -142,6 +163,11 @@ void Browser::fetch_url(const std::string& url, int priority,
     fs.from_cache = true;
     fs.requested = net_.loop().now();
     ++result_.cache_hits;
+    if (trace::Recorder* tr = trace::of(net_.loop())) {
+      tr->instant(trace::Layer::Cache, "browser", "cache", "cache.hit",
+                  {trace::arg("url", url)});
+      tr->counters().add("cache.hits");
+    }
     // Memory/disk cache lookup latency.
     net_.loop().schedule_in(sim::us(500), [this, url] {
       finish_fetch(url, 0, /*from_cache=*/true, /*not_modified=*/false);
@@ -154,6 +180,17 @@ void Browser::fetch_url(const std::string& url, int priority,
   ++outstanding_;
   ++result_.requests;
   net_wait_.fetch_started();
+  if (trace::Recorder* tr = trace::of(net_.loop())) {
+    tr->instant(trace::Layer::Browser, "browser", "loader", "request",
+                {trace::arg("url", url), trace::arg("priority", priority),
+                 trace::arg("reason", reason_name(reason))});
+    tr->counters().add("browser.requests");
+    if (config_.cache != nullptr) {
+      tr->instant(trace::Layer::Cache, "browser", "cache", "cache.miss",
+                  {trace::arg("url", url)});
+      tr->counters().add("cache.misses");
+    }
+  }
 
   http::Request req;
   req.url = url;
@@ -179,8 +216,17 @@ void Browser::handle_headers(const http::ResponseMeta& meta) {
   if (result_.ttfb == sim::kNever && instance_->size() > 0 &&
       meta.url == instance_->resource(0).url) {
     result_.ttfb = net_.loop().now();
+    if (trace::Recorder* tr = trace::of(net_.loop())) {
+      tr->instant(trace::Layer::Browser, "browser", "main-thread", "ttfb");
+    }
   }
   if (meta.hints.empty()) return;
+  if (trace::Recorder* tr = trace::of(net_.loop())) {
+    const auto n = static_cast<std::int64_t>(meta.hints.hints.size());
+    tr->instant(trace::Layer::Vroom, "browser", "scheduler", "hints.received",
+                {trace::arg("url", meta.url), trace::arg("count", n)});
+    tr->counters().add("vroom.hints_received", n);
+  }
   // The request scheduler examines hint headers on the main thread; a busy
   // CPU delays it (§5.2).
   tasks_.post(config_.cpu.task_overhead, TaskPriority::Scheduler,
@@ -205,6 +251,14 @@ void Browser::finish_fetch(const std::string& url, std::int64_t bytes,
     --outstanding_;
     net_wait_.fetch_finished();
   }
+  if (trace::Recorder* tr = trace::of(net_.loop())) {
+    tr->complete(trace::Layer::Browser, "browser", "loader", "fetch",
+                 fs.requested,
+                 {trace::arg("url", url), trace::arg("bytes", fs.bytes),
+                  trace::arg("via", from_cache  ? "cache"
+                                    : fs.pushed ? "push"
+                                                : "network")});
+  }
 
   // Store in cache using the model's cacheability metadata.
   if (config_.cache != nullptr) {
@@ -223,6 +277,12 @@ void Browser::finish_fetch(const std::string& url, std::int64_t bytes,
   if (!fs.template_id.has_value() && !from_cache) {
     // Ghost fetch: a stale or extraneous hint; pure overhead for this load.
     result_.wasted_bytes += fs.bytes;
+    if (trace::Recorder* tr = trace::of(net_.loop())) {
+      tr->instant(trace::Layer::Browser, "browser", "loader", "ghost_fetch",
+                  {trace::arg("url", url), trace::arg("bytes", fs.bytes)});
+      tr->counters().add("browser.ghost_fetches");
+      tr->counters().add("browser.ghost_bytes", fs.bytes);
+    }
   }
 
   if (config_.know_all_upfront) {
@@ -284,6 +344,12 @@ void Browser::maybe_process(const std::string& url) {
 
 bool Browser::blocked_on_css(std::function<void()> resume) {
   if (css_blocking_ == 0) return false;
+  if (trace::Recorder* tr = trace::of(net_.loop())) {
+    tr->instant(trace::Layer::Browser, "browser", "main-thread",
+                "block.cssom",
+                {trace::arg("pending_stylesheets", css_blocking_)});
+    tr->counters().add("browser.cssom_blocks");
+  }
   css_waiters_.push_back(std::move(resume));
   return true;
 }
@@ -393,6 +459,18 @@ void Browser::advance_parser(std::uint32_t doc_id) {
           } else {
             // Parser blocks until the script arrives — the classic
             // network-delays-CPU dependency of Figure 5(a).
+            if (trace::Recorder* tr = trace::of(net_.loop())) {
+              const sim::Time blocked_at = net_.loop().now();
+              tr->instant(trace::Layer::Browser, "browser", "main-thread",
+                          "parser_block.script", {trace::arg("url", curl)});
+              tr->counters().add("browser.parser_blocks");
+              cfs.on_complete_waiters.push_back([this, blocked_at] {
+                if (trace::Recorder* t2 = trace::of(net_.loop())) {
+                  t2->counters().add("browser.parser_block_us",
+                                     net_.loop().now() - blocked_at);
+                }
+              });
+            }
             cfs.on_complete_waiters.push_back(
                 [this, doc_id, child] { exec_sync_script(doc_id, child); });
           }
@@ -429,6 +507,10 @@ void Browser::on_doc_done(std::uint32_t doc_id) {
   if (doc_id == 0) {
     root_done_ = true;
     result_.dom_content_loaded = net_.loop().now();
+    if (trace::Recorder* tr = trace::of(net_.loop())) {
+      tr->instant(trace::Layer::Browser, "browser", "main-thread",
+                  "dom_content_loaded");
+    }
     // Start any iframe documents that were waiting on the root parse.
     for (const auto& [u, fs] : fetches_) {
       if (!fs.template_id || !fs.referenced) continue;
@@ -443,20 +525,37 @@ void Browser::on_doc_done(std::uint32_t doc_id) {
 
 void Browser::discover_children_via(std::uint32_t parent,
                                     web::DiscoveryVia via) {
+  // HtmlTag children reached through this path were found by the preload
+  // scanner (markup scanned as soon as the document's bytes are in); the
+  // blocking parser re-references them later as a no-op.
+  const char* how = via == web::DiscoveryVia::HtmlTag ? "preload-scan"
+                    : via == web::DiscoveryVia::JsExec ? "js-exec"
+                                                       : "css-ref";
   for (std::uint32_t c : instance_->model().children(parent)) {
-    if (instance_->model().resource(c).via == via) reference(c);
+    if (instance_->model().resource(c).via == via) reference(c, how);
   }
 }
 
 void Browser::on_push_promise(const std::string& url, std::int64_t /*bytes*/) {
   FetchState& fs = state_for(url);
-  if (fs.state != FetchStateKind::Idle) return;  // already requested
+  if (fs.state != FetchStateKind::Idle) {
+    if (trace::Recorder* tr = trace::of(net_.loop())) {
+      // The client got there first; the promise is redundant.
+      tr->counters().add("browser.push_promises_raced");
+    }
+    return;  // already requested
+  }
   fs.state = FetchStateKind::InFlight;
   fs.pushed = true;
   fs.discovered = std::min(fs.discovered, net_.loop().now());
   fs.requested = net_.loop().now();
   ++outstanding_;
   net_wait_.fetch_started();
+  if (trace::Recorder* tr = trace::of(net_.loop())) {
+    tr->instant(trace::Layer::Browser, "browser", "loader",
+                "push.promise_accepted", {trace::arg("url", url)});
+    tr->counters().add("browser.push_promises_accepted");
+  }
 }
 
 void Browser::on_push_complete(const std::string& url, std::int64_t bytes) {
@@ -469,7 +568,13 @@ void Browser::on_push_complete(const std::string& url, std::int64_t bytes) {
 
 void Browser::record_paint(double weight) {
   const sim::Time now = net_.loop().now();
-  if (result_.first_paint == sim::kNever) result_.first_paint = now;
+  if (result_.first_paint == sim::kNever) {
+    result_.first_paint = now;
+    if (trace::Recorder* tr = trace::of(net_.loop())) {
+      tr->instant(trace::Layer::Browser, "browser", "main-thread",
+                  "first_paint", {trace::arg("weight", weight)});
+    }
+  }
   paints_.emplace_back(now, weight);
   aft_ = std::max(aft_, now);
 }
@@ -489,6 +594,19 @@ void Browser::finalize_result() {
   net_wait_.stop();
   result_.net_wait = net_wait_.net_wait();
   result_.cpu_busy = tasks_.total_busy();
+  if (trace::Recorder* tr = trace::of(net_.loop())) {
+    tr->instant(trace::Layer::Browser, "browser", "main-thread", "onload",
+                {trace::arg("plt_ms", sim::to_ms(result_.plt))});
+    for (const auto& [url, fs] : fetches_) {
+      if (fs.pushed && !fs.referenced) {
+        tr->instant(trace::Layer::Browser, "browser", "loader",
+                    "push.wasted",
+                    {trace::arg("url", url), trace::arg("bytes", fs.bytes)});
+        tr->counters().add("browser.pushes_wasted");
+        tr->counters().add("browser.push_bytes_wasted", fs.bytes);
+      }
+    }
+  }
 
   sim::Time all_disc = 0, all_fetch = 0, hp_disc = 0, hp_fetch = 0;
   for (const auto& [url, fs] : fetches_) {

@@ -138,8 +138,10 @@ class Browser {
   void finish_fetch(const std::string& url, std::int64_t bytes,
                     bool from_cache, bool not_modified);
 
-  // Marks `url` as needed by the page (parser/exec discovery path).
-  void reference(std::uint32_t template_id);
+  // Marks `url` as needed by the page. `how` records the discovery
+  // provenance for trace events (navigation / parser / preload-scan /
+  // js-exec / css-ref).
+  void reference(std::uint32_t template_id, const char* how = "parser");
   void maybe_process(const std::string& url);
   void schedule_processing(const std::string& url, std::uint32_t template_id);
   void after_processed(const std::string& url, std::uint32_t template_id);

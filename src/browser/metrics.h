@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
@@ -62,6 +63,10 @@ struct LoadResult {
   int cache_hits = 0;
 
   std::vector<ResourceTiming> timings;
+
+  // Snapshot of trace::Counters for this load, sorted by name; empty when
+  // tracing was disabled (the usual case).
+  std::vector<std::pair<std::string, std::int64_t>> trace_counters;
 
   double net_wait_fraction() const {
     return plt > 0 && plt != sim::kNever

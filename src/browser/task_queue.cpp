@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
+
 namespace vroom::browser {
+
+namespace {
+const char* task_name(int priority) {
+  switch (static_cast<TaskPriority>(priority)) {
+    case TaskPriority::ImageDecode: return "task:image-decode";
+    case TaskPriority::AsyncScript: return "task:async-script";
+    case TaskPriority::Parse: return "task:parse";
+    case TaskPriority::Scheduler: return "task:scheduler";
+  }
+  return "task:?";
+}
+}  // namespace
 
 void TaskQueue::post(sim::Time duration, TaskPriority priority,
                      std::function<void()> body) {
@@ -31,7 +45,16 @@ void TaskQueue::start_next() {
     if (observer_) observer_(true);
   }
   total_busy_ += task.duration;
-  loop_.schedule_in(task.duration, [this, body = std::move(task.body)] {
+  const sim::Time started = loop_.now();
+  loop_.schedule_in(task.duration, [this, started,
+                                    priority = task.priority,
+                                    body = std::move(task.body)] {
+    if (trace::Recorder* tr = trace::of(loop_)) {
+      tr->complete(trace::Layer::Browser, "browser", "main-thread",
+                   task_name(priority), started);
+      tr->counters().add("browser.tasks_executed");
+      tr->counters().add("browser.cpu_busy_us", loop_.now() - started);
+    }
     body();  // may post more tasks
     start_next();
   });

@@ -1,5 +1,6 @@
 #include "core/client_scheduler.h"
 
+#include "trace/trace.h"
 #include "web/url.h"
 
 namespace vroom::core {
@@ -26,10 +27,20 @@ void VroomClientScheduler::on_discovered(browser::Browser& b,
 
 void VroomClientScheduler::on_hints(browser::Browser& b,
                                     const http::HintSet& hints) {
+  int fresh = 0;
   for (const http::Hint& h : hints.hints) {
     b.note_hinted(h.url);
     if (!seen_.insert(h.url).second) continue;
+    ++fresh;
     enqueue_hint(b, h);
+  }
+  if (trace::Recorder* tr = trace::of(b.loop())) {
+    tr->instant(trace::Layer::Vroom, "browser", "scheduler", "hints.acted",
+                {trace::arg("fresh", fresh),
+                 trace::arg("total",
+                            static_cast<std::int64_t>(hints.hints.size())),
+                 trace::arg("stage", stage_)});
+    tr->counters().add("vroom.hints_acted_on", fresh);
   }
   try_advance(b);
 }
@@ -76,20 +87,31 @@ bool VroomClientScheduler::all_complete(
   return true;
 }
 
+void VroomClientScheduler::advance_to(browser::Browser& b, int stage,
+                                      std::int64_t released) {
+  stage_ = stage;
+  if (trace::Recorder* tr = trace::of(b.loop())) {
+    tr->instant(trace::Layer::Vroom, "browser", "scheduler", "stage_advance",
+                {trace::arg("from", stage - 1), trace::arg("to", stage),
+                 trace::arg("released", released)});
+    tr->counters().add("vroom.stage_advances");
+  }
+}
+
 void VroomClientScheduler::try_advance(browser::Browser& b) {
   if (!staged_) return;
   if (stage_ == 0) {
     // "Once resource discovery from servers is complete and all high
     // priority resources learned via hints have been received…"
     if (pending_docs_ > 0 || !all_complete(b, preload_urls_)) return;
-    stage_ = 1;
+    advance_to(b, 1, static_cast<std::int64_t>(semi_q_.size()));
     for (const auto& u : semi_q_) {
       b.fetch_url(u, 1, browser::FetchReason::Hint);
     }
   }
   if (stage_ == 1) {
     if (!all_complete(b, semi_q_)) return;
-    stage_ = 2;
+    advance_to(b, 2, static_cast<std::int64_t>(low_q_.size()));
     for (const auto& u : low_q_) {
       b.fetch_url(u, 0, browser::FetchReason::Hint);
     }

@@ -33,6 +33,7 @@ class VroomClientScheduler : public browser::FetchPolicy {
 
  private:
   void enqueue_hint(browser::Browser& b, const http::Hint& hint);
+  void advance_to(browser::Browser& b, int stage, std::int64_t released);
   void try_advance(browser::Browser& b);
   bool all_complete(browser::Browser& b,
                     const std::vector<std::string>& urls) const;

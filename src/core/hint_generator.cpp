@@ -6,6 +6,15 @@
 
 namespace vroom::core {
 
+const char* push_selection_name(PushSelection p) {
+  switch (p) {
+    case PushSelection::None: return "none";
+    case PushSelection::HighPriorityLocal: return "high-priority-local";
+    case PushSelection::AllLocal: return "all-local";
+  }
+  return "?";
+}
+
 void truncate_hints(http::HintSet& hints, int max_hints) {
   if (max_hints <= 0 ||
       hints.hints.size() <= static_cast<std::size_t>(max_hints)) {

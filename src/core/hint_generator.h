@@ -27,6 +27,10 @@ enum class PushSelection : std::uint8_t {
   AllLocal,           // strawman: everything local
 };
 
+// Stable label for trace events ("none" / "high-priority-local" /
+// "all-local").
+const char* push_selection_name(PushSelection p);
+
 struct AdviceBuild {
   http::HintSet hints;
   std::vector<http::PushItem> pushes;

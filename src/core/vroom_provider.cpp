@@ -108,6 +108,7 @@ server::DependencyAdvice VroomProvider::advise(const std::string& domain,
   truncate_hints(build.hints, config_.max_hints);
   advice.hints = std::move(build.hints);
   advice.pushes = std::move(build.pushes);
+  advice.push_policy = push_selection_name(config_.push);
 
   switch (config_.mode) {
     case ResolutionMode::OfflinePlusOnline:

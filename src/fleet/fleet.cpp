@@ -1,5 +1,6 @@
 #include "fleet/fleet.h"
 
+#include <atomic>
 #include <charconv>
 #include <chrono>
 #include <cstdio>
@@ -8,6 +9,7 @@
 #include <thread>
 
 #include "fleet/job_queue.h"
+#include "harness/export.h"
 #include "sim/random.h"
 
 namespace vroom::fleet {
@@ -24,6 +26,54 @@ int hardware_workers() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
+
+// Opt-in live progress line (VROOM_PROGRESS=1): workers redraw a single
+// stderr line — `\r`, no newline — at most every 500 ms; a CAS on the
+// next-redraw deadline elects one worker per window, so the line never
+// interleaves. Goes to stderr so stdout stays byte-identical. finish()
+// prints the terminating newline.
+class ProgressTicker {
+ public:
+  ProgressTicker(const JobQueue& queue, const Telemetry& telemetry)
+      : queue_(queue), telemetry_(telemetry), start_(monotonic_seconds()) {
+    const char* env = std::getenv("VROOM_PROGRESS");
+    enabled_ = env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+  }
+
+  void tick() {
+    if (!enabled_) return;
+    const double now = monotonic_seconds();
+    double deadline = next_redraw_.load(std::memory_order_relaxed);
+    if (now < deadline ||
+        !next_redraw_.compare_exchange_strong(deadline, now + 0.5,
+                                              std::memory_order_relaxed)) {
+      return;
+    }
+    const std::size_t done = telemetry_.jobs_completed();
+    const double elapsed = now - start_;
+    std::fprintf(stderr, "\r[fleet] %zu/%zu jobs (%zu unclaimed), %.1f jobs/s",
+                 done, queue_.size(), queue_.remaining(),
+                 elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0);
+    std::fflush(stderr);
+    printed_ = true;
+  }
+
+  // Call after the pool joins: replaces the partial line with the final
+  // count and ends it with a newline.
+  void finish() {
+    if (!enabled_ || !printed_) return;
+    std::fprintf(stderr, "\r[fleet] %zu/%zu jobs done                    \n",
+                 telemetry_.jobs_completed(), queue_.size());
+  }
+
+ private:
+  const JobQueue& queue_;
+  const Telemetry& telemetry_;
+  double start_;
+  bool enabled_ = false;
+  std::atomic<bool> printed_{false};
+  std::atomic<double> next_redraw_{0};
+};
 
 }  // namespace
 
@@ -73,6 +123,7 @@ std::vector<harness::CorpusResult> run_matrix(
   Telemetry* telemetry =
       fleet.telemetry != nullptr ? fleet.telemetry : &local_telemetry;
   telemetry->begin_run(workers, queue.size());
+  ProgressTicker ticker(queue, *telemetry);
 
   // Flat result grid, one pre-assigned slot per job: workers never write to
   // overlapping memory, and claim order cannot affect where results land.
@@ -103,6 +154,7 @@ std::vector<harness::CorpusResult> run_matrix(
       grid[slot(*job)] = std::move(result);
       telemetry->job_finished(worker_id, monotonic_seconds() - started,
                               simulated);
+      ticker.tick();
     }
   };
 
@@ -120,6 +172,7 @@ std::vector<harness::CorpusResult> run_matrix(
     for (std::thread& t : pool) t.join();
   }
   telemetry->end_run();
+  ticker.finish();
 
   // Median selection in load-index order, identical to run_page_median.
   for (int s = 0; s < n_strategies; ++s) {
@@ -133,6 +186,10 @@ std::vector<harness::CorpusResult> run_matrix(
       }
       out.loads.push_back(harness::select_median_load(std::move(runs)));
     }
+    // Tracing runs export their aggregated counters alongside the figure
+    // CSVs (no-op when tracing was off or VROOM_OUT_DIR is unset).
+    harness::maybe_export_counters("trace counters " + out.strategy,
+                                   out.counter_totals());
   }
   return results;
 }

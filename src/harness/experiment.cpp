@@ -5,13 +5,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 
 #include "core/client_scheduler.h"
+#include "harness/export.h"
 #include "harness/stats.h"
 #include "http/connection_pool.h"
 #include "server/origin_server.h"
 #include "sim/random.h"
+#include "trace/trace.h"
 
 namespace vroom::harness {
 
@@ -54,6 +57,17 @@ browser::LoadResult run_page_load(const web::PageModel& page,
 
   server::ReplayStore store(instance);
   server::ServerFarm farm(store);
+
+  // Tracing: off unless VROOM_TRACE=<dir> is set or the caller supplied a
+  // sink. The recorder attaches itself to this load's event loop, so every
+  // layer's hooks (null-checked pointer reads) start emitting.
+  std::string trace_dir;
+  const bool trace_to_dir = trace::env_trace_dir(trace_dir);
+  std::unique_ptr<trace::Recorder> recorder;
+  if (trace_to_dir || options.trace_sink) {
+    recorder = std::make_unique<trace::Recorder>(loop);
+    farm.set_recorder(recorder.get());
+  }
 
   std::unique_ptr<core::VroomProvider> provider;
   if (strategy.server_aid) {
@@ -114,6 +128,18 @@ browser::LoadResult run_page_load(const web::PageModel& page,
     result.plt = options.timeout;
     result.aft = options.timeout;
   }
+  if (recorder) {
+    const auto& values = recorder->counters().values();
+    result.trace_counters.assign(values.begin(), values.end());
+    if (options.trace_sink) options.trace_sink(*recorder);
+    if (trace_to_dir) {
+      // One file per load, named by job identity so any VROOM_JOBS worker
+      // assignment produces the same set of files.
+      recorder->write_json(trace_dir + "/trace_" + slugify(strategy.name) +
+                           "_p" + std::to_string(page.page_id()) + "_n" +
+                           std::to_string(nonce) + ".json");
+    }
+  }
   return result;
 }
 
@@ -168,6 +194,15 @@ std::vector<double> CorpusResult::net_wait_fractions() const {
   v.reserve(loads.size());
   for (const auto& r : loads) v.push_back(r.net_wait_fraction());
   return v;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+CorpusResult::counter_totals() const {
+  std::map<std::string, std::int64_t> totals;
+  for (const auto& r : loads) {
+    for (const auto& [name, value] : r.trace_counters) totals[name] += value;
+  }
+  return {totals.begin(), totals.end()};
 }
 
 }  // namespace vroom::harness

@@ -9,10 +9,12 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/strategies.h"
 #include "browser/browser.h"
+#include "trace/trace.h"
 #include "web/corpus.h"
 
 namespace vroom::harness {
@@ -31,6 +33,12 @@ struct RunOptions {
   // CPU-bottleneck lower-bound strategy always overrides this with the
   // USB-tethered profile.
   std::optional<net::NetworkConfig> network;
+  // Programmatic tracing: when set, every load runs with a trace::Recorder
+  // attached and the recorder is handed here after the load finishes (the
+  // recorder cannot be supplied up front — it must bind to the per-load
+  // event loop built inside run_page_load). Independently, VROOM_TRACE=<dir>
+  // enables recording and writes one Chrome-trace JSON file per load.
+  std::function<void(const trace::Recorder&)> trace_sink;
 };
 
 // One load of one page under one strategy.
@@ -57,6 +65,9 @@ struct CorpusResult {
   std::vector<double> aft_seconds() const;
   std::vector<double> speed_indices() const;
   std::vector<double> net_wait_fractions() const;
+  // Sums each load's trace-counter snapshot across the corpus (median loads
+  // only, matching `loads`); empty when tracing was disabled.
+  std::vector<std::pair<std::string, std::int64_t>> counter_totals() const;
 };
 
 // Sweeps the corpus under one strategy. Defined in fleet/fleet.cpp: the

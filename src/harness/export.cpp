@@ -1,9 +1,12 @@
 #include "harness/export.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 namespace vroom::harness {
 
@@ -43,10 +46,23 @@ std::string series_to_csv(const std::vector<Series>& series) {
 }
 
 bool write_csv(const std::string& path, const std::string& csv) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    // A failed mkdir surfaces as the open/write failure below.
+  }
   std::ofstream f(path);
-  if (!f) return false;
-  f << csv;
-  return static_cast<bool>(f);
+  if (f) f << csv;
+  if (!f) {
+    std::fprintf(stderr,
+                 "[harness] warning: could not write \"%s\"; "
+                 "export skipped\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
 }
 
 void maybe_export(const std::string& title,
@@ -55,6 +71,26 @@ void maybe_export(const std::string& title,
   if (dir == nullptr || *dir == '\0') return;
   write_csv(std::string(dir) + "/" + slugify(title) + ".csv",
             series_to_csv(series));
+}
+
+std::string counters_to_csv(
+    const std::vector<std::pair<std::string, std::int64_t>>& counters) {
+  std::ostringstream os;
+  os << "counter,value\n";
+  for (const auto& [name, value] : counters) {
+    os << '"' << name << '"' << ',' << value << '\n';
+  }
+  return os.str();
+}
+
+void maybe_export_counters(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::int64_t>>& counters) {
+  if (counters.empty()) return;
+  const char* dir = std::getenv("VROOM_OUT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  write_csv(std::string(dir) + "/" + slugify(title) + ".csv",
+            counters_to_csv(counters));
 }
 
 std::string timings_to_csv(const browser::LoadResult& result) {

@@ -3,7 +3,9 @@
 // table is also written as `<dir>/<slug>.csv`.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "browser/metrics.h"
@@ -18,13 +20,24 @@ std::string slugify(const std::string& title);
 // omitted when series lengths differ). Returns the CSV text.
 std::string series_to_csv(const std::vector<Series>& series);
 
-// Writes CSV next to nothing else; creates the file, returns false on I/O
-// failure.
+// Writes CSV, creating parent directories as needed (mkdir -p semantics).
+// Returns false and warns on stderr on I/O failure.
 bool write_csv(const std::string& path, const std::string& csv);
 
 // If VROOM_OUT_DIR is set, writes `series` as <dir>/<slugify(title)>.csv.
 void maybe_export(const std::string& title,
                   const std::vector<Series>& series);
+
+// Trace-counter totals (e.g. CorpusResult::counter_totals()) as two-column
+// name,value CSV.
+std::string counters_to_csv(
+    const std::vector<std::pair<std::string, std::int64_t>>& counters);
+
+// If VROOM_OUT_DIR is set and `counters` is non-empty, writes it as
+// <dir>/<slugify(title)>.csv.
+void maybe_export_counters(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::int64_t>>& counters);
 
 // Per-resource timing dump of one load (waterfall analysis in spreadsheets).
 std::string timings_to_csv(const browser::LoadResult& result);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "trace/trace.h"
+
 namespace vroom::http {
 
 Http1Group::Http1Group(net::Network& net, std::string domain,
@@ -13,10 +15,27 @@ void Http1Group::fetch(const Request& req, ResponseHandlers handlers) {
   // Insert keeping the queue ordered by priority (desc), FIFO within equal
   // priorities.
   auto it = std::find_if(queue_.begin(), queue_.end(),
-                         [&](const auto& e) { return e.first.priority <
+                         [&](const auto& e) { return e.req.priority <
                                                       req.priority; });
-  queue_.insert(it, {req, std::move(handlers)});
+  queue_.insert(it, Pending{req, std::move(handlers), net_.loop().now()});
   pump();
+}
+
+void Http1Group::claim(Conn& c, Pending pending) {
+  if (trace::Recorder* tr = trace::of(net_.loop())) {
+    const sim::Time waited = net_.loop().now() - pending.enqueued;
+    if (waited > 0) {
+      // All six connections were occupied while this request sat queued:
+      // HTTP/1.1's head-of-line blocking, the cost HTTP/2 multiplexing (and
+      // eventually push) was designed to remove.
+      tr->complete(trace::Layer::Http, domain_, "h1-queue", "h1.queue_wait",
+                   pending.enqueued, {trace::arg("url", pending.req.url)});
+      tr->counters().add("http.h1_hol_waits");
+      tr->counters().add("http.h1_hol_wait_us", waited);
+    }
+  }
+  c.busy = true;
+  run_request(c, std::move(pending.req), std::move(pending.handlers));
 }
 
 void Http1Group::pump() {
@@ -25,10 +44,9 @@ void Http1Group::pump() {
   for (auto& cp : conns_) {
     if (!cp->busy && !cp->connecting && cp->tcp->established()) {
       if (queue_.empty()) return;
-      auto [req, handlers] = std::move(queue_.front());
+      Pending pending = std::move(queue_.front());
       queue_.pop_front();
-      cp->busy = true;
-      run_request(*cp, std::move(req), std::move(handlers));
+      claim(*cp, std::move(pending));
       if (queue_.empty()) return;
     }
   }
@@ -54,12 +72,16 @@ void Http1Group::pump() {
 }
 
 void Http1Group::run_request(Conn& c, Request req, ResponseHandlers handlers) {
+  const sim::Time started = net_.loop().now();
+  if (trace::Recorder* tr = trace::of(net_.loop())) {
+    tr->counters().add("http.h1_requests");
+  }
   c.tcp->send_request(
       kH1RequestHeaderBytes,
-      [this, &c, req, handlers = std::move(handlers)]() mutable {
+      [this, &c, started, req, handlers = std::move(handlers)]() mutable {
         ServerReply reply = handler_.handle(req);
         const sim::Time delay = net_.config().server_think + reply.extra_delay;
-        net_.loop().schedule_in(delay, [this, &c, req,
+        net_.loop().schedule_in(delay, [this, &c, started, req,
                                         reply = std::move(reply),
                                         handlers =
                                             std::move(handlers)]() mutable {
@@ -78,7 +100,13 @@ void Http1Group::run_request(Conn& c, Request req, ResponseHandlers handlers) {
           chunk.on_first_byte = [meta, shared] {
             if (shared->on_headers) shared->on_headers(*meta);
           };
-          chunk.on_delivered = [this, &c, meta, shared] {
+          chunk.on_delivered = [this, &c, started, meta, shared] {
+            if (trace::Recorder* tr = trace::of(net_.loop())) {
+              tr->complete(trace::Layer::Http, domain_, c.tcp->lane(),
+                           "h1.fetch", started,
+                           {trace::arg("url", meta->url),
+                            trace::arg("bytes", meta->body_bytes)});
+            }
             if (shared->on_complete) shared->on_complete(*meta);
             c.busy = false;
             pump();

@@ -32,15 +32,21 @@ class Http1Group : public Endpoint {
     bool connecting = false;
     bool busy = false;
   };
+  struct Pending {
+    Request req;
+    ResponseHandlers handlers;
+    sim::Time enqueued = 0;  // for head-of-line wait tracing
+  };
 
   void pump();
+  void claim(Conn& c, Pending pending);
   void run_request(Conn& c, Request req, ResponseHandlers handlers);
 
   net::Network& net_;
   std::string domain_;
   RequestHandler& handler_;
   std::vector<std::unique_ptr<Conn>> conns_;
-  std::deque<std::pair<Request, ResponseHandlers>> queue_;
+  std::deque<Pending> queue_;
   bool dns_done_ = false;  // only the first connection pays the DNS lookup
 };
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "trace/trace.h"
 #include "web/resource.h"
 #include "web/url.h"
 
@@ -45,22 +46,25 @@ void Http2Session::dispatch(const Request& req, ResponseHandlers handlers) {
   const std::int64_t req_bytes = requests_sent_++ == 0
                                      ? kH2RequestHeaderBytesFirst
                                      : kH2RequestHeaderBytesIndexed;
+  const sim::Time requested = net_.loop().now();
   conn_->send_request(
       req_bytes,
-      [this, req, handlers = std::move(handlers)]() mutable {
+      [this, req, requested, handlers = std::move(handlers)]() mutable {
         // At the origin: think time (+ any policy-specific delay, e.g.
         // on-the-fly HTML parsing) before the response starts to flow.
         ServerReply reply = handler_.handle(req);
         const sim::Time delay = net_.config().server_think + reply.extra_delay;
         net_.loop().schedule_in(
-            delay, [this, req, reply = std::move(reply),
+            delay, [this, req, requested, reply = std::move(reply),
                     handlers = std::move(handlers)]() mutable {
-              write_response(req, std::move(reply), std::move(handlers));
+              write_response(req, requested, std::move(reply),
+                             std::move(handlers));
             });
       });
 }
 
-void Http2Session::write_response(const Request& req, ServerReply reply,
+void Http2Session::write_response(const Request& req, sim::Time requested,
+                                  ServerReply reply,
                                   ResponseHandlers handlers) {
   auto meta = std::make_shared<ResponseMeta>();
   meta->url = req.url;
@@ -80,7 +84,19 @@ void Http2Session::write_response(const Request& req, ServerReply reply,
                 meta->hints.header_bytes();
   auto shared_handlers =
       std::make_shared<ResponseHandlers>(std::move(handlers));
-  chunk.on_first_byte = [this, meta, promises, shared_handlers] {
+  const std::uint32_t sid = next_stream_;
+  const std::string lane = "stream#" + std::to_string(sid);
+  chunk.on_first_byte = [this, meta, promises, lane, shared_handlers] {
+    if (trace::Recorder* tr = trace::of(net_.loop())) {
+      // PUSH_PROMISE frames become visible to the client with the
+      // triggering response's headers.
+      for (const PushItem& p : *promises) {
+        tr->instant(trace::Layer::Http, domain_, lane, "push_promise",
+                    {trace::arg("url", p.url),
+                     trace::arg("bytes", p.body_bytes)});
+        tr->counters().add("http.h2_push_promises");
+      }
+    }
     if (push_observer_.on_promise) {
       for (const PushItem& p : *promises) {
         push_observer_.on_promise(p.url, p.body_bytes);
@@ -88,9 +104,17 @@ void Http2Session::write_response(const Request& req, ServerReply reply,
     }
     if (shared_handlers->on_headers) shared_handlers->on_headers(*meta);
   };
-  chunk.on_delivered = [meta, shared_handlers] {
+  chunk.on_delivered = [this, requested, meta, lane, shared_handlers] {
+    if (trace::Recorder* tr = trace::of(net_.loop())) {
+      tr->complete(trace::Layer::Http, domain_, lane, "stream", requested,
+                   {trace::arg("url", meta->url),
+                    trace::arg("bytes", meta->body_bytes)});
+    }
     if (shared_handlers->on_complete) shared_handlers->on_complete(*meta);
   };
+  if (trace::Recorder* tr = trace::of(net_.loop())) {
+    tr->counters().add("http.h2_streams");
+  }
   conn_->send_chunk(next_stream_++, req.priority, std::move(chunk));
 
   // Pushed content follows on its own streams; under the Ordered discipline
@@ -100,7 +124,17 @@ void Http2Session::write_response(const Request& req, ServerReply reply,
   for (const PushItem& p : reply.pushes) {
     net::TcpConnection::Chunk pc;
     pc.bytes = kResponseHeaderBytes + p.body_bytes;
-    pc.on_delivered = [this, url = p.url, bytes = p.body_bytes] {
+    const sim::Time pushed_at = net_.loop().now();
+    const std::string push_lane = "stream#" + std::to_string(next_stream_);
+    pc.on_delivered = [this, pushed_at, push_lane, url = p.url,
+                       bytes = p.body_bytes] {
+      if (trace::Recorder* tr = trace::of(net_.loop())) {
+        tr->complete(trace::Layer::Http, domain_, push_lane, "push.stream",
+                     pushed_at,
+                     {trace::arg("url", url), trace::arg("bytes", bytes)});
+        tr->counters().add("http.h2_pushed_streams");
+        tr->counters().add("http.h2_push_bytes", bytes);
+      }
       if (push_observer_.on_complete) push_observer_.on_complete(url, bytes);
     };
     const bool processable =

@@ -34,8 +34,8 @@ class Http2Session : public Endpoint {
  private:
   void ensure_connected();
   void dispatch(const Request& req, ResponseHandlers handlers);
-  void write_response(const Request& req, ServerReply reply,
-                      ResponseHandlers handlers);
+  void write_response(const Request& req, sim::Time requested,
+                      ServerReply reply, ResponseHandlers handlers);
 
   net::Network& net_;
   std::string domain_;

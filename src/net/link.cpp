@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/trace.h"
+
 namespace vroom::net {
 
-Link::Link(sim::EventLoop& loop, double bps) : loop_(loop), bps_(bps) {
+Link::Link(sim::EventLoop& loop, double bps, const char* name)
+    : loop_(loop), bps_(bps), name_(name) {
   assert(bps > 0);
 }
 
@@ -20,6 +23,16 @@ void Link::transmit(std::int64_t bytes, std::function<void()> on_delivered) {
   busy_time_ += done - start;
   busy_until_ = done;
   total_bytes_ += bytes;
+  if (trace::Recorder* tr = trace::of(loop_)) {
+    // Queue-depth sample: time a byte arriving right now would wait behind
+    // everything already queued — the access-link contention of §4.3.
+    const sim::Time queued = busy_until_ - loop_.now();
+    tr->counter(trace::Layer::Net, "net",
+                std::string(name_) + ".queued_us", queued);
+    tr->counters().add(std::string("net.") + name_ + "_bytes", bytes);
+    tr->counters().set_max(std::string("net.") + name_ + "_max_queued_us",
+                           queued);
+  }
   loop_.schedule_at(done, std::move(on_delivered));
 }
 

@@ -17,8 +17,9 @@ namespace vroom::net {
 
 class Link {
  public:
-  // `bps` is the line rate in bits per second.
-  Link(sim::EventLoop& loop, double bps);
+  // `bps` is the line rate in bits per second. `name` labels the link in
+  // traces and counters ("downlink"/"uplink").
+  Link(sim::EventLoop& loop, double bps, const char* name = "link");
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
@@ -41,6 +42,7 @@ class Link {
  private:
   sim::EventLoop& loop_;
   double bps_;
+  const char* name_;
   sim::Time busy_until_ = 0;
   std::int64_t total_bytes_ = 0;
   sim::Time busy_time_ = 0;

@@ -48,8 +48,8 @@ Network::Network(sim::EventLoop& loop, NetworkConfig config,
                  std::uint64_t rtt_seed)
     : loop_(loop),
       config_(config),
-      downlink_(loop, config.downlink_bps),
-      uplink_(loop, config.uplink_bps),
+      downlink_(loop, config.downlink_bps, "downlink"),
+      uplink_(loop, config.uplink_bps, "uplink"),
       rtt_seed_(rtt_seed) {
   if (config_.loss_rate > 0) {
     loss_rng_ = std::make_unique<sim::Rng>(rtt_seed, "segment-loss");

@@ -90,12 +90,18 @@ class Network {
   // Deterministic per-network loss draws for the TCP model.
   bool draw_loss();
 
+  // Sequential connection ids for trace lane naming ("conn#<n>"); purely
+  // cosmetic, derived from creation order, which the event loop makes
+  // deterministic.
+  int alloc_conn_id() { return ++conn_seq_; }
+
  private:
   sim::EventLoop& loop_;
   NetworkConfig config_;
   Link downlink_;
   Link uplink_;
   std::uint64_t rtt_seed_;
+  int conn_seq_ = 0;
   std::map<std::string, sim::Time> rtt_cache_;
   // Starts deep in the past: the radio is idle when a session begins.
   sim::Time radio_active_until_ = INT64_MIN / 2;

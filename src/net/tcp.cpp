@@ -5,6 +5,8 @@
 #include <climits>
 #include <utility>
 
+#include "trace/trace.h"
+
 namespace vroom::net {
 
 bool TcpConnection::Stream::exhausted() const {
@@ -17,6 +19,7 @@ TcpConnection::TcpConnection(Network& net, std::string domain, bool needs_dns,
                              WriterDiscipline discipline)
     : net_(net),
       domain_(std::move(domain)),
+      lane_("conn#" + std::to_string(net.alloc_conn_id())),
       needs_dns_(needs_dns),
       discipline_(discipline),
       rtt_(net_.rtt(domain_)) {
@@ -33,8 +36,18 @@ void TcpConnection::connect(std::function<void()> on_established) {
   setup += net_.radio_wakeup_delay();  // RRC idle->connected promotion
   if (needs_dns_) setup += cfg.dns_lookup;
   setup += static_cast<sim::Time>(cfg.tls_handshake_rtts) * rtt_;
-  net_.loop().schedule_in(setup, [this, cb = std::move(on_established)] {
+  const sim::Time started = net_.loop().now();
+  net_.loop().schedule_in(setup, [this, started,
+                                  cb = std::move(on_established)] {
     established_ = true;
+    if (trace::Recorder* tr = trace::of(net_.loop())) {
+      tr->complete(trace::Layer::Net, domain_, lane_, "connect", started,
+                   {trace::arg("rtt_ms", sim::to_ms(rtt_)),
+                    trace::arg("dns", needs_dns_ ? "yes" : "no"),
+                    trace::arg("tls_rtts", net_.config().tls_handshake_rtts)});
+      tr->counters().add("net.connections");
+      if (needs_dns_) tr->counters().add("net.dns_lookups");
+    }
     cb();
   });
 }
@@ -124,6 +137,13 @@ void TcpConnection::pump() {
       extra = std::max(net_.config().rto_min, 2 * rtt_);
       cwnd_ = std::max<std::int64_t>(cwnd_ / 2,
                                      2 * net_.config().mss_bytes);
+      if (trace::Recorder* tr = trace::of(net_.loop())) {
+        tr->instant(trace::Layer::Net, domain_, lane_, "rto",
+                    {trace::arg("timeout_ms", sim::to_ms(extra)),
+                     trace::arg("cwnd_after", cwnd_)});
+        tr->counter(trace::Layer::Net, domain_, "cwnd." + lane_, cwnd_);
+        tr->counters().add("net.rto_events");
+      }
     }
     // Propagation from origin to the access-link bottleneck, then FIFO
     // serialization shared with every other connection.
@@ -169,7 +189,17 @@ void TcpConnection::on_ack(std::size_t stream_index, std::int64_t seg) {
   streams_[stream_index].inflight -= seg;
   // Slow start: cwnd grows by one MSS per acked segment (doubling per RTT)
   // up to the configured cap; no loss, so we never leave slow start.
+  const std::int64_t before = cwnd_;
   cwnd_ = std::min(cwnd_ + net_.config().mss_bytes, max_cwnd_);
+  if (cwnd_ != before) {
+    if (trace::Recorder* tr = trace::of(net_.loop())) {
+      tr->counter(trace::Layer::Net, domain_, "cwnd." + lane_, cwnd_);
+      if (cwnd_ == max_cwnd_) {
+        tr->instant(trace::Layer::Net, domain_, lane_, "slow_start_cap",
+                    {trace::arg("cwnd", cwnd_)});
+      }
+    }
+  }
   pump();
 }
 

@@ -46,6 +46,9 @@ class TcpConnection {
   const std::string& domain() const { return domain_; }
   sim::Time rtt() const { return rtt_; }
   bool established() const { return established_; }
+  // Trace lane for this connection ("conn#<n>"), stable across worker
+  // counts because connection ids follow event-loop creation order.
+  const std::string& lane() const { return lane_; }
 
   // Performs DNS + TCP handshake + TLS setup, then fires `on_established`.
   // Must be called exactly once.
@@ -95,6 +98,7 @@ class TcpConnection {
 
   Network& net_;
   std::string domain_;
+  std::string lane_;
   bool needs_dns_;
   WriterDiscipline discipline_;
   sim::Time rtt_;

@@ -16,6 +16,7 @@
 
 #include "http/message.h"
 #include "server/replay_store.h"
+#include "trace/trace.h"
 
 namespace vroom::server {
 
@@ -23,6 +24,9 @@ struct DependencyAdvice {
   http::HintSet hints;
   std::vector<http::PushItem> pushes;  // must be same-domain content
   sim::Time extra_delay = 0;           // e.g. on-the-fly HTML analysis
+  // Label of the push-selection policy that produced `pushes`; surfaced in
+  // push.decision trace events.
+  const char* push_policy = "none";
 };
 
 // Implemented by core/VroomServerPolicy and the baseline providers.
@@ -48,6 +52,8 @@ class OriginServer : public http::RequestHandler {
   void set_cache_digest(CacheDigest digest) { digest_ = std::move(digest); }
   // Additional backend latency per request (ad exchanges run auctions).
   void set_extra_think(sim::Time t) { extra_think_ = t; }
+  // nullptr (the default) disables tracing; the recorder outlives the farm.
+  void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
 
   http::ServerReply handle(const http::Request& req) override;
 
@@ -59,6 +65,7 @@ class OriginServer : public http::RequestHandler {
   const ReplayStore& store_;
   DependencyProvider* provider_ = nullptr;
   CacheDigest digest_;
+  trace::Recorder* recorder_ = nullptr;
   sim::Time extra_think_ = 0;
   int requests_served_ = 0;
   std::int64_t push_bytes_ = 0;
@@ -78,6 +85,8 @@ class ServerFarm {
   // (incremental-deployment study, §6.1).
   void set_provider_first_party_only(DependencyProvider* provider);
   void set_cache_digest(OriginServer::CacheDigest digest);
+  // Applies a trace recorder to every origin created now or later.
+  void set_recorder(trace::Recorder* recorder);
 
  private:
   void configure(OriginServer& s, const std::string& domain);
@@ -87,6 +96,7 @@ class ServerFarm {
   DependencyProvider* provider_ = nullptr;
   bool first_party_only_ = false;
   OriginServer::CacheDigest digest_;
+  trace::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace vroom::server

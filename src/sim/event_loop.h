@@ -15,6 +15,10 @@
 
 #include "sim/time.h"
 
+namespace vroom::trace {
+class Recorder;
+}
+
 namespace vroom::sim {
 
 // Handle used to cancel a pending event. Cancellation is lazy: the event
@@ -62,6 +66,13 @@ class EventLoop {
   bool empty() const { return queue_.size() == cancelled_.size(); }
   std::size_t pending() const { return queue_.size() - cancelled_.size(); }
 
+  // Structured-trace recorder attached to this simulation world (see
+  // src/trace/). Null when tracing is disabled — instrumentation sites
+  // check this pointer and do nothing else, which keeps the disabled-path
+  // cost to one branch. The loop does not own the recorder.
+  trace::Recorder* recorder() const { return recorder_; }
+  void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   struct Event {
     Time at;
@@ -76,6 +87,7 @@ class EventLoop {
   };
 
   Time now_ = 0;
+  trace::Recorder* recorder_ = nullptr;
   std::uint64_t next_seq_ = 1;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<std::uint64_t> cancelled_;  // sorted insertion not required; small

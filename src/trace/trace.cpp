@@ -1,0 +1,236 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace vroom::trace {
+
+const char* layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::Sim: return "sim";
+    case Layer::Net: return "net";
+    case Layer::Http: return "http";
+    case Layer::Browser: return "browser";
+    case Layer::Server: return "server";
+    case Layer::Vroom: return "vroom";
+    case Layer::Cache: return "cache";
+  }
+  return "unknown";
+}
+
+Arg arg(std::string key, std::string value) {
+  return Arg{std::move(key), std::move(value), /*quoted=*/true};
+}
+
+Arg arg(std::string key, const char* value) {
+  return Arg{std::move(key), std::string(value), /*quoted=*/true};
+}
+
+Arg arg(std::string key, std::int64_t value) {
+  return Arg{std::move(key), std::to_string(value), /*quoted=*/false};
+}
+
+Arg arg(std::string key, int value) {
+  return arg(std::move(key), static_cast<std::int64_t>(value));
+}
+
+Arg arg(std::string key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return Arg{std::move(key), std::string(buf), /*quoted=*/false};
+}
+
+void Counters::add(const std::string& name, std::int64_t delta) {
+  values_[name] += delta;
+}
+
+void Counters::set_max(const std::string& name, std::int64_t value) {
+  auto [it, inserted] = values_.emplace(name, value);
+  if (!inserted) it->second = std::max(it->second, value);
+}
+
+std::int64_t Counters::value(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+Recorder::Recorder(sim::EventLoop& loop) : loop_(loop) {
+  loop_.set_recorder(this);
+}
+
+Recorder::~Recorder() {
+  if (loop_.recorder() == this) loop_.set_recorder(nullptr);
+}
+
+int Recorder::track_id(const std::string& track) {
+  auto [it, inserted] =
+      track_ids_.emplace(track, static_cast<int>(tracks_.size()));
+  if (inserted) tracks_.push_back(track);
+  return it->second;
+}
+
+int Recorder::lane_id(int track, const std::string& lane) {
+  const std::string key =
+      std::to_string(track) + '\x1f' + lane;
+  auto [it, inserted] =
+      lane_ids_.emplace(key, static_cast<int>(lanes_.size()));
+  if (inserted) lanes_.emplace_back(track, lane);
+  return it->second;
+}
+
+std::string Recorder::json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string render_args(const Args& args) {
+  std::string out;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.push_back('"');
+    out += Recorder::json_escape(args[i].key);
+    out += "\":";
+    if (args[i].quoted) {
+      out.push_back('"');
+      out += Recorder::json_escape(args[i].value);
+      out.push_back('"');
+    } else {
+      out += args[i].value;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Recorder::push(Layer layer, const std::string& track,
+                    const std::string& lane, char phase, std::string name,
+                    sim::Time ts, sim::Time dur, const Args& args) {
+  Event e;
+  e.ts = ts;
+  e.dur = dur;
+  e.phase = phase;
+  e.layer = layer;
+  e.track = track_id(track);
+  e.lane = lane_id(e.track, lane);
+  e.name = std::move(name);
+  e.args_json = render_args(args);
+  events_.push_back(std::move(e));
+}
+
+void Recorder::instant(Layer layer, const std::string& track,
+                       const std::string& lane, std::string name,
+                       const Args& args) {
+  push(layer, track, lane, 'i', std::move(name), loop_.now(), 0, args);
+}
+
+void Recorder::complete(Layer layer, const std::string& track,
+                        const std::string& lane, std::string name,
+                        sim::Time start, const Args& args) {
+  const sim::Time now = loop_.now();
+  if (start > now) start = now;
+  push(layer, track, lane, 'X', std::move(name), start, now - start, args);
+}
+
+void Recorder::counter(Layer layer, const std::string& track,
+                       std::string name, std::int64_t value) {
+  Args args;
+  args.push_back(arg(name, value));
+  push(layer, track, /*lane=*/"counters", 'C', std::move(name), loop_.now(),
+       0, args);
+}
+
+std::vector<Recorder::Event> Recorder::sorted_events() const {
+  std::vector<Event> out = events_;
+  // Stable: ties (simultaneous events) keep emission order, which the event
+  // loop already makes deterministic.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  return out;
+}
+
+std::string Recorder::chrome_trace_json() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  // Metadata: name every pid (track) and tid (lane) so the viewers group
+  // lanes under their origin/browser process.
+  for (std::size_t pid = 0; pid < tracks_.size(); ++pid) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+       << json_escape(tracks_[pid]) << "\"}}";
+  }
+  for (std::size_t tid = 0; tid < lanes_.size(); ++tid) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << lanes_[tid].first << ",\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << json_escape(lanes_[tid].second) << "\"}}";
+  }
+  for (const Event& e : sorted_events()) {
+    sep();
+    os << "{\"ph\":\"" << e.phase << "\",\"cat\":\"" << layer_name(e.layer)
+       << "\",\"name\":\"" << json_escape(e.name) << "\",\"pid\":" << e.track
+       << ",\"tid\":" << e.lane << ",\"ts\":" << e.ts;
+    if (e.phase == 'X') os << ",\"dur\":" << e.dur;
+    os << ",\"args\":{" << e.args_json << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool Recorder::write_json(const std::string& path) const {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream f(path);
+  if (f) f << chrome_trace_json();
+  if (!f) {
+    std::fprintf(stderr,
+                 "[trace] warning: could not write trace file \"%s\"\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool env_trace_dir(std::string& dir) {
+  const char* env = std::getenv("VROOM_TRACE");
+  if (env == nullptr || *env == '\0') return false;
+  dir = env;
+  return true;
+}
+
+}  // namespace vroom::trace

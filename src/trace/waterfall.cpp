@@ -1,0 +1,104 @@
+#include "trace/waterfall.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace vroom::trace {
+
+namespace {
+
+// Column of the bar a virtual-time instant falls in.
+int bar_col(sim::Time t, sim::Time span, int width) {
+  if (span <= 0) return 0;
+  const auto col = static_cast<int>((static_cast<double>(t) /
+                                     static_cast<double>(span)) * width);
+  return std::clamp(col, 0, width - 1);
+}
+
+}  // namespace
+
+std::string waterfall_table(const std::string& title,
+                            const browser::LoadResult& result,
+                            const WaterfallOptions& options) {
+  std::string out;
+  char line[512];
+
+  std::snprintf(line, sizeof line,
+                "--- %s: PLT %.2fs, net-wait %.0f%%, %d requests, %.0f KB "
+                "(%.0f KB wasted, %d cache hits) ---\n",
+                title.c_str(), sim::to_seconds(result.plt),
+                100 * result.net_wait_fraction(), result.requests,
+                result.bytes_fetched / 1e3, result.wasted_bytes / 1e3,
+                result.cache_hits);
+  out += line;
+
+  std::vector<const browser::ResourceTiming*> rows;
+  for (const auto& t : result.timings) {
+    if (t.requested != sim::kNever) rows.push_back(&t);
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto* a, const auto* b) {
+                     if (a->requested != b->requested) {
+                       return a->requested < b->requested;
+                     }
+                     return a->url < b->url;
+                   });
+
+  const sim::Time span = result.plt != sim::kNever ? result.plt : 0;
+  const int bar_w = options.bar_width;
+  std::snprintf(line, sizeof line, "%-40s %8s %8s %8s %4s  %s\n", "url",
+                "disc(ms)", "start(ms)", "done(ms)", "via",
+                bar_w > 0 ? "timeline (. wait, = transfer)" : "");
+  out += line;
+
+  int shown = 0;
+  for (const auto* t : rows) {
+    if (options.max_rows > 0 && shown++ >= options.max_rows) break;
+    // Provenance column: how the client came to issue (or receive) this
+    // fetch. Pushes beat hints beat parser discovery; ghosts are hinted
+    // fetches the page never referenced.
+    const char* via = t->pushed ? "push"
+                      : t->from_cache ? "cash"
+                      : t->hinted ? "hint"
+                                  : "disc";
+    if (!t->referenced) via = "ghst";
+
+    std::string bar;
+    if (bar_w > 0 && span > 0) {
+      bar.assign(static_cast<std::size_t>(bar_w), ' ');
+      const sim::Time done =
+          t->complete != sim::kNever ? t->complete : span;
+      const int c0 = bar_col(t->requested, span, bar_w);
+      const int c1 = bar_col(done, span, bar_w);
+      for (int c = c0; c <= c1; ++c) bar[static_cast<std::size_t>(c)] = '=';
+      if (t->discovered != sim::kNever && t->discovered < t->requested) {
+        for (int c = bar_col(t->discovered, span, bar_w); c < c0; ++c) {
+          bar[static_cast<std::size_t>(c)] = '.';
+        }
+      }
+      if (t->processed != sim::kNever) {
+        bar[static_cast<std::size_t>(bar_col(t->processed, span, bar_w))] =
+            '#';
+      }
+    }
+
+    auto ms_cell = [](sim::Time t2) {
+      return t2 == sim::kNever ? -1.0 : sim::to_ms(t2);
+    };
+    std::snprintf(line, sizeof line, "%-40.40s %8.0f %8.0f %8.0f %4s  |%s|\n",
+                  t->url.c_str(), ms_cell(t->discovered),
+                  ms_cell(t->requested), ms_cell(t->complete), via,
+                  bar.c_str());
+    out += line;
+  }
+  if (options.max_rows > 0 &&
+      static_cast<int>(rows.size()) > options.max_rows) {
+    std::snprintf(line, sizeof line, "  … %zu more requests\n",
+                  rows.size() - static_cast<std::size_t>(options.max_rows));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace vroom::trace

@@ -1,0 +1,25 @@
+// Compact per-load waterfall table — the terminal-friendly sink of the
+// trace layer. Renders one row per requested resource (discovery, request,
+// first-complete, processed times plus hint/push/cache provenance) and a
+// bar column that shows where each fetch sat on the timeline, so examples
+// and quick diagnostics share one format instead of ad-hoc printf timelines.
+#pragma once
+
+#include <string>
+
+#include "browser/metrics.h"
+
+namespace vroom::trace {
+
+struct WaterfallOptions {
+  int max_rows = 25;   // 0 = unlimited
+  int bar_width = 32;  // timeline bar columns; 0 disables the bar
+};
+
+// Text table for one load, rows ordered by request time. `title` becomes
+// the header line together with the load's headline metrics.
+std::string waterfall_table(const std::string& title,
+                            const browser::LoadResult& result,
+                            const WaterfallOptions& options = {});
+
+}  // namespace vroom::trace

@@ -1,0 +1,435 @@
+// Structured tracing: the Chrome-trace sink must emit well-formed JSON with
+// monotone per-lane timestamps, traces must be bit-identical across worker
+// counts, and a disabled recorder must not perturb the simulation.
+#include "trace/trace.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/strategies.h"
+#include "fleet/fleet.h"
+#include "harness/experiment.h"
+#include "harness/export.h"
+#include "sim/random.h"
+#include "trace/waterfall.h"
+#include "web/corpus.h"
+#include "web/page_generator.h"
+
+namespace vroom {
+namespace {
+
+// Scoped environment override (POSIX setenv/unsetenv), restored on exit so
+// tests don't leak state into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+// Minimal recursive-descent JSON parser: accepts exactly the RFC 8259
+// grammar (objects, arrays, strings with escapes, numbers, literals) and
+// rejects trailing commas, unterminated strings, and stray bytes.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string text) : s_(std::move(text)) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') { ++pos_; if (!digits()) return false; }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\t' || s_[pos_] == '\r')) ++pos_;
+  }
+
+  const std::string s_;
+  std::size_t pos_ = 0;
+};
+
+harness::RunOptions traced_options(std::string* json,
+                                   std::vector<trace::Recorder::Event>* events,
+                                   std::map<std::string, std::int64_t>*
+                                       counters) {
+  harness::RunOptions opt;
+  opt.seed = 42;
+  opt.trace_sink = [json, events, counters](const trace::Recorder& r) {
+    if (json != nullptr) *json = r.chrome_trace_json();
+    if (events != nullptr) *events = r.sorted_events();
+    if (counters != nullptr) *counters = r.counters().values();
+  };
+  return opt;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return in ? out.str() : std::string();
+}
+
+TEST(Counters, AddMaxAndDeterministicOrder) {
+  trace::Counters c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.value("net.bytes"), 0);
+  c.add("net.bytes", 100);
+  c.add("net.bytes", 50);
+  c.add("server.requests");  // default delta 1
+  c.set_max("net.max_queued_us", 10);
+  c.set_max("net.max_queued_us", 4);   // lower sample never wins
+  c.set_max("net.max_queued_us", 25);
+  EXPECT_EQ(c.value("net.bytes"), 150);
+  EXPECT_EQ(c.value("server.requests"), 1);
+  EXPECT_EQ(c.value("net.max_queued_us"), 25);
+  // std::map iteration: names come out sorted, so exports are stable.
+  std::vector<std::string> names;
+  for (const auto& [name, value] : c.values()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "net.bytes", "net.max_queued_us", "server.requests"}));
+}
+
+TEST(Recorder, AttachesToLoopAndDetachesOnDestruction) {
+  sim::EventLoop loop;
+  EXPECT_EQ(trace::of(loop), nullptr);
+  {
+    trace::Recorder rec(loop);
+    EXPECT_EQ(trace::of(loop), &rec);
+    rec.instant(trace::Layer::Net, "net", "conn#1", "connect");
+    EXPECT_EQ(rec.event_count(), 1u);
+  }
+  EXPECT_EQ(trace::of(loop), nullptr);
+}
+
+TEST(Recorder, JsonEscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(trace::Recorder::json_escape("plain"), "plain");
+  EXPECT_EQ(trace::Recorder::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(trace::Recorder::json_escape("line\nbreak\ttab"),
+            "line\\nbreak\\ttab");
+  // The escaped forms must themselves survive a JSON parse.
+  JsonChecker check("\"" + trace::Recorder::json_escape(
+                              std::string("\x01\x1f\"\\\n") + "x") + "\"");
+  EXPECT_TRUE(check.valid());
+}
+
+TEST(Recorder, ChromeTraceJsonIsWellFormed) {
+  sim::EventLoop loop;
+  trace::Recorder rec(loop);
+  rec.instant(trace::Layer::Browser, "browser", "loader", "discover",
+              {trace::arg("url", "https://a.example/\"odd\"\npath"),
+               trace::arg("n", std::int64_t{7})});
+  rec.complete(trace::Layer::Http, "a.example", "stream#1", "stream", 0,
+               {trace::arg("ratio", 0.5)});
+  rec.counter(trace::Layer::Net, "net", "cwnd", 10);
+  const std::string json = rec.chrome_trace_json();
+  JsonChecker check(json);
+  EXPECT_TRUE(check.valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // Perfetto reads process/thread names from metadata events.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+}
+
+TEST(Trace, FullLoadJsonWellFormedAndLayersPresent) {
+  ScopedEnv trace_env("VROOM_TRACE", nullptr);
+  const web::PageModel page = web::generate_page(42, 3, web::PageClass::News);
+  std::string json;
+  std::vector<trace::Recorder::Event> events;
+  std::map<std::string, std::int64_t> counters;
+  const harness::RunOptions opt = traced_options(&json, &events, &counters);
+  harness::run_page_load(page, baselines::vroom(), opt, 1);
+
+  ASSERT_FALSE(json.empty());
+  JsonChecker check(json);
+  EXPECT_TRUE(check.valid());
+
+  // Events must arrive from every major subsystem of the stack.
+  std::set<std::string> layers;
+  for (const auto& e : events) layers.insert(trace::layer_name(e.layer));
+  for (const char* want : {"net", "http", "browser", "server", "vroom"}) {
+    EXPECT_TRUE(layers.count(want)) << "missing layer: " << want;
+  }
+  // And the counter registry saw traffic from the same subsystems.
+  EXPECT_GT(counters.at("browser.requests"), 0);
+  EXPECT_GT(counters.at("net.connections"), 0);
+  EXPECT_GT(counters.at("server.requests"), 0);
+  EXPECT_GT(counters.at("vroom.hints_received"), 0);
+}
+
+TEST(Trace, TimestampsMonotonePerLane) {
+  ScopedEnv trace_env("VROOM_TRACE", nullptr);
+  const web::PageModel page = web::generate_page(42, 3, web::PageClass::News);
+  std::vector<trace::Recorder::Event> events;
+  const harness::RunOptions opt = traced_options(nullptr, &events, nullptr);
+  harness::run_page_load(page, baselines::vroom(), opt, 1);
+
+  ASSERT_FALSE(events.empty());
+  sim::Time prev_global = 0;
+  std::map<std::pair<int, int>, sim::Time> prev_lane;
+  for (const auto& e : events) {
+    EXPECT_GE(e.ts, prev_global);  // sorted_events orders by timestamp
+    prev_global = e.ts;
+    auto [it, fresh] = prev_lane.try_emplace({e.track, e.lane}, e.ts);
+    if (!fresh) {
+      EXPECT_GE(e.ts, it->second) << "lane went backwards: " << e.name;
+      it->second = e.ts;
+    }
+    EXPECT_GE(e.dur, 0) << e.name;
+  }
+}
+
+TEST(Trace, DisabledRecorderAddsNothingAndLoadIsIdentical) {
+  ScopedEnv trace_env("VROOM_TRACE", nullptr);
+  const web::PageModel page = web::generate_page(42, 3, web::PageClass::News);
+
+  harness::RunOptions plain;
+  plain.seed = 42;
+  const auto off = harness::run_page_load(page, baselines::vroom(), plain, 1);
+  EXPECT_TRUE(off.trace_counters.empty());  // no recorder → no counters
+
+  std::vector<trace::Recorder::Event> events;
+  const harness::RunOptions opt = traced_options(nullptr, &events, nullptr);
+  const auto on = harness::run_page_load(page, baselines::vroom(), opt, 1);
+  EXPECT_FALSE(events.empty());
+
+  // Tracing must be an observer: identical virtual-time results either way.
+  EXPECT_EQ(off.plt, on.plt);
+  EXPECT_EQ(off.aft, on.aft);
+  EXPECT_EQ(off.speed_index_ms, on.speed_index_ms);
+  EXPECT_EQ(off.bytes_fetched, on.bytes_fetched);
+  EXPECT_EQ(off.requests, on.requests);
+  ASSERT_EQ(off.timings.size(), on.timings.size());
+  for (std::size_t i = 0; i < off.timings.size(); ++i) {
+    EXPECT_EQ(off.timings[i].url, on.timings[i].url);
+    EXPECT_EQ(off.timings[i].complete, on.timings[i].complete);
+  }
+
+  // A recorder that exists but never fires stays empty and costs nothing.
+  sim::EventLoop loop;
+  trace::Recorder rec(loop);
+  EXPECT_EQ(rec.event_count(), 0u);
+  EXPECT_TRUE(rec.counters().empty());
+}
+
+TEST(Trace, IdenticalSeedsGiveByteIdenticalTracesAtAnyJobCount) {
+  ScopedEnv jobs_env("VROOM_JOBS", nullptr);
+  ScopedEnv pages_env("VROOM_BENCH_PAGES", nullptr);
+  const web::Corpus corpus = web::Corpus::smoke(7, /*count=*/2);
+  harness::RunOptions opt;
+  opt.seed = 42;
+
+  const std::string base = testing::TempDir() + "vroom_trace_jobs";
+  const std::string dir1 = base + "/serial";
+  const std::string dir4 = base + "/parallel";
+
+  fleet::FleetOptions serial;
+  serial.workers = 1;
+  fleet::FleetOptions parallel;
+  parallel.workers = 4;
+  {
+    ScopedEnv trace_env("VROOM_TRACE", dir1.c_str());
+    fleet::run_corpus(corpus, baselines::vroom(), opt, serial);
+  }
+  {
+    ScopedEnv trace_env("VROOM_TRACE", dir4.c_str());
+    fleet::run_corpus(corpus, baselines::vroom(), opt, parallel);
+  }
+
+  // Filenames derive from job identity (strategy, page, nonce), so the two
+  // sweeps must produce the same set of files with the same bytes.
+  const std::string slug = harness::slugify(baselines::vroom().name);
+  int compared = 0;
+  for (const auto& page : corpus.pages()) {
+    for (int load = 0; load < opt.loads_per_page; ++load) {
+      const std::uint64_t nonce = sim::derive_seed(
+          opt.seed ^ page.page_id(), "load-nonce-" + std::to_string(load));
+      const std::string name = "/trace_" + slug + "_p" +
+          std::to_string(page.page_id()) + "_n" + std::to_string(nonce) +
+          ".json";
+      const std::string a = read_file(dir1 + name);
+      const std::string b = read_file(dir4 + name);
+      ASSERT_FALSE(a.empty()) << "missing trace: " << dir1 + name;
+      EXPECT_EQ(a, b) << "trace diverged: " << name;
+      JsonChecker check(a);
+      EXPECT_TRUE(check.valid()) << name;
+      ++compared;
+    }
+  }
+  EXPECT_EQ(compared, static_cast<int>(corpus.size()) * opt.loads_per_page);
+}
+
+TEST(Trace, WriteJsonCreatesDirectoriesAndReportsFailure) {
+  sim::EventLoop loop;
+  trace::Recorder rec(loop);
+  rec.instant(trace::Layer::Sim, "sim", "loop", "tick");
+  const std::string path =
+      testing::TempDir() + "vroom_trace_mkdir/a/b/trace.json";
+  EXPECT_TRUE(rec.write_json(path));
+  const std::string body = read_file(path);
+  JsonChecker check(body);
+  EXPECT_TRUE(check.valid());
+  // An unwritable path warns and returns false instead of throwing.
+  EXPECT_FALSE(rec.write_json("/proc/vroom-definitely-not-writable/t.json"));
+}
+
+TEST(Trace, EnvTraceDirHonorsSwitch) {
+  std::string dir;
+  {
+    ScopedEnv env("VROOM_TRACE", nullptr);
+    EXPECT_FALSE(trace::env_trace_dir(dir));
+  }
+  {
+    ScopedEnv env("VROOM_TRACE", "");
+    EXPECT_FALSE(trace::env_trace_dir(dir));  // empty means off
+  }
+  {
+    ScopedEnv env("VROOM_TRACE", "/tmp/traces");
+    EXPECT_TRUE(trace::env_trace_dir(dir));
+    EXPECT_EQ(dir, "/tmp/traces");
+  }
+}
+
+TEST(Waterfall, TableListsRequestsInOrder) {
+  ScopedEnv trace_env("VROOM_TRACE", nullptr);
+  const web::PageModel page = web::generate_page(42, 3, web::PageClass::News);
+  harness::RunOptions opt;
+  opt.seed = 42;
+  const auto r = harness::run_page_load(page, baselines::vroom(), opt, 1);
+
+  trace::WaterfallOptions wf;
+  wf.max_rows = 5;
+  const std::string table = trace::waterfall_table("Vroom", r, wf);
+  EXPECT_NE(table.find("Vroom"), std::string::npos);
+  EXPECT_NE(table.find("PLT"), std::string::npos);
+  EXPECT_NE(table.find(page.first_party()), std::string::npos);
+  if (r.requests > wf.max_rows) {
+    EXPECT_NE(table.find("more requests"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace vroom
