@@ -1,10 +1,56 @@
 #include "baselines/strategies.h"
 
+#include <limits>
+#include <sstream>
+
 #include "baselines/polaris.h"
 #include "baselines/vroom_polaris.h"
 #include "core/client_scheduler.h"
 
 namespace vroom::baselines {
+
+namespace {
+
+const char* sched_name(Strategy::Sched s) {
+  switch (s) {
+    case Strategy::Sched::Default: return "default";
+    case Strategy::Sched::VroomStaged: return "vroom-staged";
+    case Strategy::Sched::FetchAsap: return "fetch-asap";
+    case Strategy::Sched::Polaris: return "polaris";
+    case Strategy::Sched::VroomPolaris: return "vroom-polaris";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Strategy::fingerprint() const {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "strategy{name=" << name
+     << ";proto=" << (protocol == http::Protocol::Http1 ? "h1" : "h2")
+     << ";aid=" << server_aid << ";first_party_only=" << first_party_only
+     << ";ordered_writer=" << ordered_writer << ";sched=" << sched_name(sched)
+     << ";know_all=" << know_all_upfront << ";zero_cpu=" << zero_cpu
+     << ";local_net=" << local_network;
+  if (server_aid) {
+    os << ";provider{mode=" << core::resolution_mode_name(provider.mode)
+       << ";hints=" << provider.hints_enabled
+       << ";push=" << core::push_selection_name(provider.push)
+       << ";max_hints=" << provider.max_hints
+       << ";offline{loads=" << provider.offline.loads
+       << ";spacing=" << provider.offline.spacing << ";dev_handling="
+       << static_cast<int>(provider.offline.device_handling)
+       << ";iou=" << provider.offline.iou_threshold << ";devices=";
+    for (const auto& d : provider.offline.known_devices) {
+      os << d.name << ':' << d.screen << ':' << d.dpi << ':' << d.width << ':'
+         << d.cpu_scale << ',';
+    }
+    os << "}}";
+  }
+  os << "}";
+  return os.str();
+}
 
 std::unique_ptr<browser::FetchPolicy> make_policy(const Strategy& s) {
   switch (s.sched) {

@@ -36,6 +36,13 @@ struct Strategy {
   bool know_all_upfront = false;  // network-bound: fetch all, evaluate none
   bool zero_cpu = false;
   bool local_network = false;  // CPU-bound: servers on a USB-tethered desktop
+
+  // Canonical text encoding of *every* knob that affects simulation (name,
+  // protocol, server-aid provider config including the offline-resolver
+  // parameters, scheduler, writer discipline, bound modes). Two strategies
+  // with equal fingerprints produce bit-identical loads for the same (seed,
+  // page, nonce, device, network); the result cache keys on it.
+  std::string fingerprint() const;
 };
 
 // Creates the client fetch policy an instance of this strategy needs (one

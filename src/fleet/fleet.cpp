@@ -10,7 +10,7 @@
 
 #include "fleet/job_queue.h"
 #include "harness/export.h"
-#include "sim/random.h"
+#include "harness/result_cache.h"
 
 namespace vroom::fleet {
 
@@ -125,6 +125,19 @@ std::vector<harness::CorpusResult> run_matrix(
   telemetry->begin_run(workers, queue.size());
   ProgressTicker ticker(queue, *telemetry);
 
+  // Opt-in result cache (VROOM_RESULT_CACHE=<dir>): identical jobs from
+  // earlier sweeps are answered from disk instead of re-simulated. Runs
+  // whose results the cache cannot represent faithfully — warm-cache
+  // (order-dependent) and traced (per-load side effects) — bypass it.
+  std::unique_ptr<harness::ResultCache> cache = harness::ResultCache::
+      from_env();
+  if (cache != nullptr && !harness::result_cache_usable(options)) {
+    std::fprintf(stderr,
+                 "[fleet] note: VROOM_RESULT_CACHE set but this run is not "
+                 "cacheable (warm cache or tracing active); bypassing\n");
+    cache.reset();
+  }
+
   // Flat result grid, one pre-assigned slot per job: workers never write to
   // overlapping memory, and claim order cannot affect where results land.
   std::vector<browser::LoadResult> grid(queue.size());
@@ -142,14 +155,28 @@ std::vector<harness::CorpusResult> run_matrix(
       const double started = monotonic_seconds();
       const web::PageModel& page =
           corpus.page(static_cast<std::size_t>(job->page_index));
+      const baselines::Strategy& strategy =
+          strategies[static_cast<std::size_t>(job->strategy_index)];
       // Seed derivation matches harness::run_page_median exactly: the nonce
       // depends only on (seed, page id, load index).
-      const std::uint64_t nonce = sim::derive_seed(
-          options.seed ^ page.page_id(),
-          "load-nonce-" + std::to_string(job->load_index));
-      browser::LoadResult result = harness::run_page_load(
-          page, strategies[static_cast<std::size_t>(job->strategy_index)],
-          options, nonce);
+      const std::uint64_t nonce = harness::derive_load_nonce(
+          options.seed, page.page_id(), job->load_index);
+      browser::LoadResult result;
+      bool from_cache = false;
+      std::string key;
+      if (cache != nullptr) {
+        key = harness::result_cache_key(strategy, options, page.page_id(),
+                                        nonce);
+        if (std::optional<browser::LoadResult> hit = cache->get(key)) {
+          result = std::move(*hit);
+          from_cache = true;
+          telemetry->job_from_cache(worker_id);
+        }
+      }
+      if (!from_cache) {
+        result = harness::run_page_load(page, strategy, options, nonce);
+        if (cache != nullptr) cache->put(key, result);
+      }
       const sim::Time simulated = result.plt;
       grid[slot(*job)] = std::move(result);
       telemetry->job_finished(worker_id, monotonic_seconds() - started,
@@ -173,6 +200,17 @@ std::vector<harness::CorpusResult> run_matrix(
   }
   telemetry->end_run();
   ticker.finish();
+  if (cache != nullptr) {
+    // Always on stderr (stdout must stay byte-identical with caching off).
+    const harness::ResultCacheStats cs = cache->stats();
+    std::fprintf(stderr,
+                 "[fleet] result cache \"%s\": %llu hits, %llu misses, "
+                 "%llu stored, %llu corrupt\n",
+                 cache->dir().c_str(), static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses),
+                 static_cast<unsigned long long>(cs.stores),
+                 static_cast<unsigned long long>(cs.errors));
+  }
 
   // Median selection in load-index order, identical to run_page_median.
   for (int s = 0; s < n_strategies; ++s) {

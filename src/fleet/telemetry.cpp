@@ -20,6 +20,7 @@ void Telemetry::begin_run(int workers, std::size_t jobs_submitted) {
   wall_seconds_ = 0;
   slots_.assign(static_cast<std::size_t>(workers), WorkerSlot{});
   completed_.store(0, std::memory_order_relaxed);
+  from_cache_.store(0, std::memory_order_relaxed);
   in_flight_.store(0, std::memory_order_relaxed);
   peak_in_flight_.store(0, std::memory_order_relaxed);
   wall_start_ = monotonic_seconds();
@@ -34,6 +35,11 @@ void Telemetry::job_started(int worker) {
   while (now > peak && !peak_in_flight_.compare_exchange_weak(
                            peak, now, std::memory_order_relaxed)) {
   }
+}
+
+void Telemetry::job_from_cache(int worker) {
+  (void)worker;
+  from_cache_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Telemetry::job_finished(int worker, double wall_seconds,
@@ -51,6 +57,7 @@ TelemetrySummary Telemetry::summary() const {
   s.workers = workers_;
   s.jobs_submitted = jobs_submitted_;
   s.jobs_completed = completed_.load(std::memory_order_relaxed);
+  s.jobs_from_cache = from_cache_.load(std::memory_order_relaxed);
   s.peak_in_flight = peak_in_flight_.load(std::memory_order_relaxed);
   s.wall_seconds = wall_seconds_;
   std::vector<double> all_jobs;
@@ -79,6 +86,14 @@ void Telemetry::print(std::FILE* out) const {
                "throughput=%.1f jobs/s peak_in_flight=%d\n",
                s.workers, s.jobs_completed, s.jobs_submitted, s.wall_seconds,
                s.jobs_per_second, s.peak_in_flight);
+  if (s.jobs_from_cache > 0) {
+    std::fprintf(out, "[fleet] result cache: %zu/%zu jobs (%.0f%% hits)\n",
+                 s.jobs_from_cache, s.jobs_completed,
+                 s.jobs_completed > 0
+                     ? 100.0 * static_cast<double>(s.jobs_from_cache) /
+                           static_cast<double>(s.jobs_completed)
+                     : 0.0);
+  }
   std::fprintf(out,
                "[fleet] busy=%.3fs (utilization %.0f%%)  simulated=%.1fs "
                "(%.0fx wall)  job p25/p50/p75=%.3f/%.3f/%.3fs\n",

@@ -21,6 +21,9 @@ struct TelemetrySummary {
   int workers = 0;
   std::size_t jobs_submitted = 0;
   std::size_t jobs_completed = 0;
+  // Jobs satisfied from the on-disk result cache (VROOM_RESULT_CACHE)
+  // instead of being simulated; always <= jobs_completed.
+  std::size_t jobs_from_cache = 0;
   int peak_in_flight = 0;
   double wall_seconds = 0;        // begin_run() .. end_run()
   double jobs_per_second = 0;
@@ -41,8 +44,10 @@ class Telemetry {
 
   // Worker-side hooks. `worker` indexes [0, workers). job_started /
   // job_finished bracket each job; the finished hook records the job's wall
-  // duration and the virtual time its simulation covered.
+  // duration and the virtual time its simulation covered. A job answered by
+  // the result cache additionally reports job_from_cache between the two.
   void job_started(int worker);
+  void job_from_cache(int worker);
   void job_finished(int worker, double wall_seconds, sim::Time simulated);
 
   std::size_t jobs_submitted() const { return jobs_submitted_; }
@@ -69,6 +74,7 @@ class Telemetry {
   double wall_start_ = 0;  // monotonic clock, seconds
   std::vector<WorkerSlot> slots_;
   std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> from_cache_{0};
   std::atomic<int> in_flight_{0};
   std::atomic<int> peak_in_flight_{0};
 };

@@ -44,7 +44,11 @@ browser::LoadResult run_page_load(const web::PageModel& page,
           ? net::NetworkConfig::local_usb()
           : options.network.value_or(net::NetworkConfig::lte());
   // Per-domain RTT draws depend only on (seed, page), so every strategy sees
-  // the same network conditions for the same page.
+  // the same network conditions for the same page. The XOR fold here can
+  // alias two (seed, page) pairs onto one RTT stream, but unlike the load
+  // nonce (see derive_load_nonce) that is a benign correlation: the draw is
+  // still a pure function of (seed, page), so reproducibility — and the
+  // result-cache key, which carries seed and page separately — is unaffected.
   net::Network network(loop, ncfg,
                        sim::derive_seed(options.seed ^ page.page_id(), "rtt"));
 
@@ -143,11 +147,19 @@ browser::LoadResult run_page_load(const web::PageModel& page,
   return result;
 }
 
+std::uint64_t derive_load_nonce(std::uint64_t seed, std::uint32_t page_id,
+                                int load_index) {
+  return sim::derive_seed(sim::derive_seed(seed, page_id),
+                          "load-nonce-" + std::to_string(load_index));
+}
+
 browser::LoadResult select_median_load(std::vector<browser::LoadResult> runs) {
-  std::sort(runs.begin(), runs.end(),
-            [](const browser::LoadResult& a, const browser::LoadResult& b) {
-              return a.plt < b.plt;
-            });
+  // stable_sort: `runs` arrives in load-index order, so PLT ties resolve to
+  // the lower load index on every path (serial or fleet, any worker count)
+  // instead of whatever an unstable sort's implementation picks.
+  std::stable_sort(runs.begin(), runs.end(),
+                   [](const browser::LoadResult& a,
+                      const browser::LoadResult& b) { return a.plt < b.plt; });
   return std::move(runs[runs.size() / 2]);
 }
 
@@ -157,8 +169,8 @@ browser::LoadResult run_page_median(const web::PageModel& page,
   std::vector<browser::LoadResult> runs;
   runs.reserve(static_cast<std::size_t>(options.loads_per_page));
   for (int i = 0; i < options.loads_per_page; ++i) {
-    const std::uint64_t nonce = sim::derive_seed(
-        options.seed ^ page.page_id(), "load-nonce-" + std::to_string(i));
+    const std::uint64_t nonce = derive_load_nonce(options.seed,
+                                                  page.page_id(), i);
     runs.push_back(run_page_load(page, strategy, options, nonce));
   }
   return select_median_load(std::move(runs));

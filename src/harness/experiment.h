@@ -52,9 +52,19 @@ browser::LoadResult run_page_median(const web::PageModel& page,
                                     const baselines::Strategy& strategy,
                                     const RunOptions& options);
 
-// Median selection shared by run_page_median and the parallel fleet: sorts
-// by PLT and keeps the middle load. `runs` must be in load-index order so
-// both paths sort identical input and stay bit-identical.
+// The per-load instance nonce, shared by run_page_median, the fleet worker
+// loop, and every test that reconstructs a load: (seed, page id, load index)
+// mixed through two independent sim::derive_seed stages. The historical
+// `seed ^ page_id` fold collided whenever two (seed, page) pairs XOR-ed
+// equal, silently giving such loads identical realized instances.
+std::uint64_t derive_load_nonce(std::uint64_t seed, std::uint32_t page_id,
+                                int load_index);
+
+// Median selection shared by run_page_median and the parallel fleet:
+// stable-sorts by PLT and keeps the middle load. `runs` must be in
+// load-index order so both paths sort identical input and stay
+// bit-identical; stability makes PLT ties resolve to the lower load index
+// rather than an implementation-defined pick.
 browser::LoadResult select_median_load(std::vector<browser::LoadResult> runs);
 
 struct CorpusResult {

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <system_error>
 
@@ -28,6 +29,10 @@ std::string slugify(const std::string& title) {
 
 std::string series_to_csv(const std::vector<Series>& series) {
   std::ostringstream os;
+  // max_digits10 guarantees the decimal text parses back to the exact same
+  // double; the stream default (6 significant digits) silently truncated
+  // PLT/AFT series on round-trip.
+  os.precision(std::numeric_limits<double>::max_digits10);
   std::size_t rows = 0;
   for (std::size_t i = 0; i < series.size(); ++i) {
     if (i > 0) os << ',';
@@ -95,6 +100,7 @@ void maybe_export_counters(
 
 std::string timings_to_csv(const browser::LoadResult& result) {
   std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
   os << "url,referenced,processable,in_iframe,hinted,pushed,from_cache,"
         "bytes,discovered_ms,requested_ms,complete_ms,processed_ms\n";
   auto cell = [&](sim::Time t) {

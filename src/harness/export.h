@@ -17,7 +17,8 @@ namespace vroom::harness {
 std::string slugify(const std::string& title);
 
 // One column per series, rows are the raw per-page values (padded rows are
-// omitted when series lengths differ). Returns the CSV text.
+// omitted when series lengths differ). Returns the CSV text. Doubles are
+// printed with max_digits10 so every value round-trips exactly.
 std::string series_to_csv(const std::vector<Series>& series);
 
 // Writes CSV, creating parent directories as needed (mkdir -p semantics).

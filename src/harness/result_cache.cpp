@@ -1,0 +1,197 @@
+#include "harness/result_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <system_error>
+
+#include "net/network.h"
+#include "sim/random.h"
+#include "trace/trace.h"
+
+namespace vroom::harness {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'R', 'C', '1'};
+
+// Canonical text for the profiles folded into the key. Exhaustive field
+// lists: a knob that is not here would silently alias two different worlds.
+void append_network(std::ostringstream& os, const net::NetworkConfig& n) {
+  os << "net{down=" << n.downlink_bps << ";up=" << n.uplink_bps
+     << ";cell_rtt=" << n.cellular_rtt << ";dns=" << n.dns_lookup
+     << ";mss=" << n.mss_bytes << ";icwnd=" << n.init_cwnd_segments
+     << ";maxcwnd=" << n.max_cwnd_segments
+     << ";h2win=" << n.h2_stream_window_bytes
+     << ";tls_rtts=" << n.tls_handshake_rtts << ";think=" << n.server_think
+     << ";rtt_med=" << n.domain_rtt_median << ";rtt_sig=" << n.domain_rtt_sigma
+     << ";rtt_min=" << n.domain_rtt_min << ";rtt_max=" << n.domain_rtt_max
+     << ";loss=" << n.loss_rate << ";rto_min=" << n.rto_min
+     << ";rrc=" << n.radio_promotion << ";rrc_idle=" << n.radio_idle_timeout
+     << "}";
+}
+
+void append_device(std::ostringstream& os, const web::DeviceProfile& d) {
+  os << "dev{" << d.name << ';' << d.screen << ';' << d.dpi << ';' << d.width
+     << ';' << d.cpu_scale << "}";
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string result_cache_key(const baselines::Strategy& strategy,
+                             const RunOptions& options, std::uint32_t page_id,
+                             std::uint64_t nonce) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "v" << kResultCacheSaltVersion << "|seed=" << options.seed
+     << "|page=" << page_id << "|nonce=" << nonce << "|when=" << options.when
+     << "|user=" << options.user << "|timeout=" << options.timeout << "|";
+  // The network the load actually sees: the CPU-bottleneck strategy
+  // overrides the run's profile with the USB-tethered one.
+  const net::NetworkConfig effective =
+      strategy.local_network ? net::NetworkConfig::local_usb()
+                             : options.network.value_or(net::NetworkConfig::
+                                                            lte());
+  append_network(os, effective);
+  os << "|";
+  append_device(os, options.device);
+  os << "|" << strategy.fingerprint();
+  return os.str();
+}
+
+bool result_cache_usable(const RunOptions& options) {
+  if (options.cache != nullptr) return false;  // order-dependent warm cache
+  if (options.trace_sink) return false;        // per-load side effects
+  std::string dir;
+  if (trace::env_trace_dir(dir)) return false;  // ditto (JSON per load)
+  return true;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::unique_ptr<ResultCache> ResultCache::from_env() {
+  const char* dir = std::getenv("VROOM_RESULT_CACHE");
+  if (dir == nullptr || *dir == '\0') return nullptr;
+  return std::make_unique<ResultCache>(dir);
+}
+
+std::string ResultCache::path_for(const std::string& key) const {
+  // 128 bits of key hash: two independent purpose-tagged derivations of the
+  // same FNV digest. The full key inside the file disambiguates residual
+  // collisions.
+  const std::uint64_t h = sim::hash64(key);
+  return dir_ + "/" + hex16(sim::derive_seed(h, "cache-file-a")) +
+         hex16(sim::derive_seed(h, "cache-file-b")) + ".vrc";
+}
+
+std::optional<browser::LoadResult> ResultCache::get(const std::string& key) {
+  std::ifstream f(path_for(key), std::ios::binary);
+  if (!f) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string bytes = buf.str();
+  const auto corrupt = [this]() -> std::optional<browser::LoadResult> {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+  if (bytes.size() < sizeof kMagic + 4 ||
+      bytes.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0) {
+    return corrupt();
+  }
+  std::size_t pos = sizeof kMagic;
+  std::uint32_t key_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    key_len |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(bytes[pos + static_cast<
+                       std::size_t>(i)]))
+               << (8 * i);
+  }
+  pos += 4;
+  if (bytes.size() - pos < key_len ||
+      bytes.compare(pos, key_len, key) != 0) {
+    return corrupt();  // hash collision or foreign file: treat as a miss
+  }
+  pos += key_len;
+  browser::LoadResult result;
+  if (!browser::deserialize_load_result(
+          std::string_view(bytes).substr(pos), &result)) {
+    return corrupt();
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void ResultCache::put(const std::string& key,
+                      const browser::LoadResult& result) {
+  const auto warn_once = [this](const std::string& what) {
+    if (!warned_.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "[cache] warning: %s; result caching degraded to "
+                   "pass-through\n",
+                   what.c_str());
+    }
+  };
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  // (A failed mkdir surfaces as the open failure below.)
+  const std::string final_path = path_for(key);
+  // Unique temp name per (process, put): concurrent writers — even across
+  // processes — never share a temp file, and rename() publishes atomically.
+  const std::string tmp_path =
+      final_path + ".tmp-" + std::to_string(::getpid()) + "-" +
+      std::to_string(temp_seq_.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
+    if (f) {
+      f.write(kMagic, sizeof kMagic);
+      const std::uint32_t key_len = static_cast<std::uint32_t>(key.size());
+      char len_bytes[4];
+      for (int i = 0; i < 4; ++i) {
+        len_bytes[i] = static_cast<char>(key_len >> (8 * i));
+      }
+      f.write(len_bytes, 4);
+      f.write(key.data(), static_cast<std::streamsize>(key.size()));
+      const std::string payload = browser::serialize_load_result(result);
+      f.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    }
+    if (!f) {
+      warn_once("could not write \"" + tmp_path + "\"");
+      std::filesystem::remove(tmp_path, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    warn_once("could not publish \"" + final_path + "\": " + ec.message());
+    std::filesystem::remove(tmp_path, ec);
+    return;
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace vroom::harness

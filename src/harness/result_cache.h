@@ -1,0 +1,98 @@
+// Content-keyed on-disk cache of browser::LoadResult.
+//
+// Every figure bench recomputes the same (seed, page, strategy, load) jobs —
+// the exact redundancy Mahimahi-style record-and-replay exists to remove.
+// With `VROOM_RESULT_CACHE=<dir>` set (off by default), the fleet consults
+// this cache before simulating a job and stores each fresh result after, so
+// regenerating the full figure set costs roughly one pass of unique jobs.
+//
+// The key is the job's complete causal identity: corpus seed, page id, load
+// nonce, the strategy's canonical fingerprint() (every knob that affects
+// simulation), a device + network profile hash, the run's wall time / user /
+// timeout, and a code-version salt (kResultCacheSaltVersion) bumped whenever
+// simulation behaviour changes. This is only sound because the keyed
+// computation is reproducible: median selection is stable, nonces derive
+// from (seed, page, load) without collisions, and fleet output is
+// bit-identical at any worker count.
+//
+// Storage is one file per key under the cache directory, named by a 128-bit
+// hash of the key string; the file embeds the full key and is verified on
+// read, so hash collisions degrade to misses, never to wrong results.
+// Writes go to a unique temp file and rename() into place, so concurrent
+// workers (or concurrent processes) racing on the same key are safe — the
+// loser's identical bytes simply win.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baselines/strategies.h"
+#include "browser/metrics.h"
+#include "harness/experiment.h"
+
+namespace vroom::harness {
+
+// Code-version salt folded into every cache key. Bump on ANY change that can
+// alter simulated results (browser model, network model, seed derivation,
+// LoadResult fields, ...) so stale entries miss instead of lying.
+inline constexpr int kResultCacheSaltVersion = 1;
+
+// Canonical key string for one (strategy, options, page, load-nonce) job.
+// Human-readable on purpose: it is embedded in cache files for verification
+// and makes mismatches debuggable.
+std::string result_cache_key(const baselines::Strategy& strategy,
+                             const RunOptions& options, std::uint32_t page_id,
+                             std::uint64_t nonce);
+
+// Whether results under these options may be cached at all. Warm-cache runs
+// (options.cache) depend on load order, and traced runs (VROOM_TRACE or
+// options.trace_sink) emit per-load artifacts a cache hit cannot replay —
+// both bypass the cache.
+bool result_cache_usable(const RunOptions& options);
+
+struct ResultCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  // Unreadable / corrupt / key-mismatched entries (counted as misses too).
+  std::uint64_t errors = 0;
+};
+
+class ResultCache {
+ public:
+  // Creates `dir` (mkdir -p) lazily on first put. Thread-safe: get/put may
+  // be called concurrently from any number of fleet workers.
+  explicit ResultCache(std::string dir);
+
+  // Reads VROOM_RESULT_CACHE; returns nullptr when unset or empty (the
+  // default: caching off).
+  static std::unique_ptr<ResultCache> from_env();
+
+  // Cache lookup. A verified hit returns the stored result; corrupt or
+  // mismatched entries count as misses.
+  std::optional<browser::LoadResult> get(const std::string& key);
+
+  // Stores `result` under `key` (atomic temp-file + rename publish).
+  // Failures warn on stderr once per cache and are otherwise ignored — the
+  // cache is an accelerator, never a correctness dependency.
+  void put(const std::string& key, const browser::LoadResult& result);
+
+  ResultCacheStats stats() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string path_for(const std::string& key) const;
+
+  std::string dir_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<bool> warned_{false};
+  std::atomic<std::uint64_t> temp_seq_{0};
+};
+
+}  // namespace vroom::harness

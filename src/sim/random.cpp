@@ -16,13 +16,27 @@ std::uint64_t hash64(std::string_view s) {
   return h;
 }
 
-std::uint64_t derive_seed(std::uint64_t root, std::string_view purpose) {
-  std::uint64_t z = root ^ hash64(purpose);
-  // splitmix64 finalizer — decorrelates nearby roots.
+namespace {
+
+// splitmix64 finalizer — a bijective mix that decorrelates nearby inputs.
+std::uint64_t splitmix64(std::uint64_t z) {
   z += 0x9e3779b97f4a7c15ULL;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t root, std::string_view purpose) {
+  return splitmix64(root ^ hash64(purpose));
+}
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t child) {
+  // Finalize the root first so the fold with `child` is not a raw XOR of
+  // caller-controlled values (those collide whenever root1^child1 ==
+  // root2^child2).
+  return splitmix64(splitmix64(root) ^ child);
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {

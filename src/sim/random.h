@@ -20,6 +20,13 @@ std::uint64_t hash64(std::string_view s);
 // Mixes a root seed with a purpose tag into a child seed (splitmix64 finalizer).
 std::uint64_t derive_seed(std::uint64_t root, std::string_view purpose);
 
+// Mixes a root seed with a numeric child id (page id, load index, shard
+// number). The root passes through the splitmix64 finalizer *before* the
+// child is folded in, so distinct (root, child) pairs land in unrelated
+// streams — unlike a bare `root ^ child`, which collides for every pair of
+// inputs with the same XOR (e.g. (seed, page) and (seed ^ d, page ^ d)).
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t child);
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}

@@ -94,8 +94,8 @@ TEST_F(BaselineLoadTest, RunPageMedianPicksMiddleLoad) {
   ASSERT_TRUE(med.finished);
   std::vector<sim::Time> plts;
   for (int i = 0; i < 3; ++i) {
-    const std::uint64_t nonce = sim::derive_seed(
-        opt_.seed ^ page_.page_id(), "load-nonce-" + std::to_string(i));
+    const std::uint64_t nonce =
+        harness::derive_load_nonce(opt_.seed, page_.page_id(), i);
     plts.push_back(harness::run_page_load(page_, http2_baseline(), opt_,
                                           nonce).plt);
   }

@@ -251,8 +251,8 @@ TEST(ReportTest, MedianOfThreeLoadVariants) {
   const auto med = harness::run_page_median(page, baselines::vroom(), opt);
   bool matches = false;
   for (int i = 0; i < opt.loads_per_page; ++i) {
-    const std::uint64_t nonce = sim::derive_seed(
-        opt.seed ^ page.page_id(), "load-nonce-" + std::to_string(i));
+    const std::uint64_t nonce =
+        harness::derive_load_nonce(opt.seed, page.page_id(), i);
     if (harness::run_page_load(page, baselines::vroom(), opt, nonce).plt ==
         med.plt) {
       matches = true;

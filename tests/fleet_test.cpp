@@ -218,6 +218,63 @@ TEST(Fleet, TelemetryCountersAddUp) {
   for (const auto& r : results) EXPECT_EQ(r.loads.size(), corpus.size());
 }
 
+TEST(MedianSelection, TiedPltsResolveToLowerLoadIndex) {
+  // Both the serial path and the fleet hand select_median_load the loads in
+  // load-index order, so a *stable* sort makes PLT ties resolve to the lower
+  // load index on every path and at any worker count. The previous unstable
+  // std::sort left the returned load implementation-defined.
+  std::vector<browser::LoadResult> tied(3);
+  for (int i = 0; i < 3; ++i) {
+    tied[static_cast<std::size_t>(i)].finished = true;
+    tied[static_cast<std::size_t>(i)].plt = sim::ms(1000);
+    tied[static_cast<std::size_t>(i)].bytes_fetched = i;  // load-index marker
+  }
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_EQ(harness::select_median_load(tied).bytes_fetched, 1);
+  }
+
+  // Partial tie: after sorting, the median slot falls on the tied value —
+  // stability keeps the earlier load there.
+  std::vector<browser::LoadResult> partial(3);
+  partial[0].plt = sim::ms(2000);
+  partial[0].bytes_fetched = 0;
+  partial[1].plt = sim::ms(1000);
+  partial[1].bytes_fetched = 1;
+  partial[2].plt = sim::ms(2000);
+  partial[2].bytes_fetched = 2;
+  // Sorted stably: [1000 (load 1), 2000 (load 0), 2000 (load 2)].
+  EXPECT_EQ(harness::select_median_load(partial).bytes_fetched, 0);
+
+  // Five-way with duplicates on both sides of the median.
+  std::vector<browser::LoadResult> five(5);
+  const sim::Time plts[5] = {sim::ms(7), sim::ms(5), sim::ms(7), sim::ms(5),
+                             sim::ms(7)};
+  for (int i = 0; i < 5; ++i) {
+    five[static_cast<std::size_t>(i)].plt = plts[i];
+    five[static_cast<std::size_t>(i)].bytes_fetched = i;
+  }
+  // Sorted stably: [5 (1), 5 (3), 7 (0), 7 (2), 7 (4)] → median = load 0.
+  EXPECT_EQ(harness::select_median_load(five).bytes_fetched, 0);
+}
+
+TEST(Harness, LoadNonceDerivationDoesNotCollideOnXorPairs) {
+  // The historical `seed ^ page_id` fold gave (seed, page) and
+  // (seed ^ d, page ^ d) identical nonces for every d. The two-stage
+  // derivation must separate exactly those pairs.
+  const std::uint64_t seed = 42;
+  const std::uint32_t page = 7;
+  for (std::uint32_t d : {1u, 3u, 0x20u, 0xffu}) {
+    EXPECT_NE(harness::derive_load_nonce(seed, page, 0),
+              harness::derive_load_nonce(seed ^ d, page ^ d, 0))
+        << "d=" << d;
+  }
+  // Still deterministic and distinct per load index.
+  EXPECT_EQ(harness::derive_load_nonce(seed, page, 1),
+            harness::derive_load_nonce(seed, page, 1));
+  EXPECT_NE(harness::derive_load_nonce(seed, page, 0),
+            harness::derive_load_nonce(seed, page, 1));
+}
+
 TEST(Harness, EffectivePageCountValidation) {
   {
     ScopedEnv env("VROOM_BENCH_PAGES", nullptr);

@@ -1,0 +1,375 @@
+// Result cache: LoadResult serialization must round-trip every field, cache
+// keys must cover every knob that affects simulation, and a second fleet
+// sweep with VROOM_RESULT_CACHE set must be answered from disk with
+// bit-identical results at any worker count.
+#include "harness/result_cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/strategies.h"
+#include "fleet/fleet.h"
+#include "harness/experiment.h"
+#include "harness/export.h"
+#include "web/corpus.h"
+#include "web/page_generator.h"
+
+namespace vroom {
+namespace {
+
+// Scoped environment override (POSIX setenv/unsetenv), restored on exit so
+// tests don't leak state into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "vroom_result_cache_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void expect_identical(const browser::LoadResult& a,
+                      const browser::LoadResult& b) {
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.plt, b.plt);
+  EXPECT_EQ(a.aft, b.aft);
+  EXPECT_EQ(a.speed_index_ms, b.speed_index_ms);  // bitwise, not approx
+  EXPECT_EQ(a.ttfb, b.ttfb);
+  EXPECT_EQ(a.first_paint, b.first_paint);
+  EXPECT_EQ(a.dom_content_loaded, b.dom_content_loaded);
+  EXPECT_EQ(a.all_discovered, b.all_discovered);
+  EXPECT_EQ(a.all_fetched, b.all_fetched);
+  EXPECT_EQ(a.high_prio_discovered, b.high_prio_discovered);
+  EXPECT_EQ(a.high_prio_fetched, b.high_prio_fetched);
+  EXPECT_EQ(a.net_wait, b.net_wait);
+  EXPECT_EQ(a.cpu_busy, b.cpu_busy);
+  EXPECT_EQ(a.bytes_fetched, b.bytes_fetched);
+  EXPECT_EQ(a.wasted_bytes, b.wasted_bytes);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  ASSERT_EQ(a.timings.size(), b.timings.size());
+  for (std::size_t i = 0; i < a.timings.size(); ++i) {
+    EXPECT_EQ(a.timings[i].url, b.timings[i].url);
+    EXPECT_EQ(a.timings[i].template_id, b.timings[i].template_id);
+    EXPECT_EQ(a.timings[i].referenced, b.timings[i].referenced);
+    EXPECT_EQ(a.timings[i].processable, b.timings[i].processable);
+    EXPECT_EQ(a.timings[i].in_iframe, b.timings[i].in_iframe);
+    EXPECT_EQ(a.timings[i].hinted, b.timings[i].hinted);
+    EXPECT_EQ(a.timings[i].pushed, b.timings[i].pushed);
+    EXPECT_EQ(a.timings[i].from_cache, b.timings[i].from_cache);
+    EXPECT_EQ(a.timings[i].bytes, b.timings[i].bytes);
+    EXPECT_EQ(a.timings[i].discovered, b.timings[i].discovered);
+    EXPECT_EQ(a.timings[i].requested, b.timings[i].requested);
+    EXPECT_EQ(a.timings[i].complete, b.timings[i].complete);
+    EXPECT_EQ(a.timings[i].processed, b.timings[i].processed);
+  }
+  ASSERT_EQ(a.trace_counters.size(), b.trace_counters.size());
+  for (std::size_t i = 0; i < a.trace_counters.size(); ++i) {
+    EXPECT_EQ(a.trace_counters[i], b.trace_counters[i]);
+  }
+}
+
+TEST(LoadResultSerialization, RealLoadRoundTripsEveryField) {
+  ScopedEnv trace_env("VROOM_TRACE", nullptr);
+  const web::PageModel page = web::generate_page(42, 5, web::PageClass::News);
+  harness::RunOptions opt;
+  // Trace so the trace_counters snapshot is non-empty and round-trips too.
+  opt.trace_sink = [](const trace::Recorder&) {};
+  const auto r = harness::run_page_load(page, baselines::vroom(), opt, 1);
+  ASSERT_TRUE(r.finished);
+  ASSERT_FALSE(r.timings.empty());
+  ASSERT_FALSE(r.trace_counters.empty());
+
+  const std::string bytes = browser::serialize_load_result(r);
+  browser::LoadResult back;
+  ASSERT_TRUE(browser::deserialize_load_result(bytes, &back));
+  expect_identical(r, back);
+}
+
+TEST(LoadResultSerialization, SentinelAndEdgeValuesSurvive) {
+  browser::LoadResult r;
+  r.finished = false;
+  r.plt = sim::kNever;
+  r.aft = sim::kNever;
+  r.speed_index_ms = 1.0 / 3.0;
+  r.net_wait = -1;  // sign must survive the unsigned wire format
+  browser::ResourceTiming t;
+  t.url = "https://example.com/a?x=1&y=2";
+  t.template_id = std::nullopt;
+  t.discovered = sim::kNever;
+  r.timings.push_back(t);
+  r.trace_counters.emplace_back("net.bytes", INT64_MAX);
+
+  browser::LoadResult back;
+  ASSERT_TRUE(
+      browser::deserialize_load_result(browser::serialize_load_result(r),
+                                       &back));
+  expect_identical(r, back);
+  EXPECT_FALSE(back.timings[0].template_id.has_value());
+}
+
+TEST(LoadResultSerialization, RejectsCorruptBytes) {
+  browser::LoadResult r;
+  r.plt = sim::ms(1234);
+  const std::string bytes = browser::serialize_load_result(r);
+  browser::LoadResult out;
+  EXPECT_FALSE(browser::deserialize_load_result("", &out));
+  for (std::size_t cut : {std::size_t{1}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    EXPECT_FALSE(browser::deserialize_load_result(
+        std::string_view(bytes).substr(0, cut), &out))
+        << "truncated at " << cut;
+  }
+  EXPECT_FALSE(browser::deserialize_load_result(bytes + "x", &out));
+  std::string wrong_version = bytes;
+  wrong_version[0] = static_cast<char>(wrong_version[0] + 1);
+  EXPECT_FALSE(browser::deserialize_load_result(wrong_version, &out));
+}
+
+TEST(CacheKey, CoversEveryAxisOfJobIdentity) {
+  const harness::RunOptions base;
+  const auto key = [&](const baselines::Strategy& s,
+                       const harness::RunOptions& o, std::uint32_t page,
+                       std::uint64_t nonce) {
+    return harness::result_cache_key(s, o, page, nonce);
+  };
+  const std::string reference = key(baselines::vroom(), base, 7, 99);
+  // Deterministic.
+  EXPECT_EQ(reference, key(baselines::vroom(), base, 7, 99));
+
+  std::set<std::string> keys;
+  keys.insert(reference);
+  harness::RunOptions seed = base;
+  seed.seed = 43;
+  keys.insert(key(baselines::vroom(), seed, 7, 99));
+  harness::RunOptions when = base;
+  when.when = sim::days(46);
+  keys.insert(key(baselines::vroom(), when, 7, 99));
+  harness::RunOptions user = base;
+  user.user = 2;
+  keys.insert(key(baselines::vroom(), user, 7, 99));
+  harness::RunOptions device = base;
+  device.device = web::nexus10();
+  keys.insert(key(baselines::vroom(), device, 7, 99));
+  harness::RunOptions network = base;
+  network.network = net::NetworkConfig::threeg();
+  keys.insert(key(baselines::vroom(), network, 7, 99));
+  keys.insert(key(baselines::vroom(), base, 8, 99));    // page
+  keys.insert(key(baselines::vroom(), base, 7, 100));   // nonce
+  keys.insert(key(baselines::http2_baseline(), base, 7, 99));  // strategy
+  EXPECT_EQ(keys.size(), 9u) << "two axes collided";
+}
+
+TEST(CacheKey, StrategyFingerprintCoversProviderKnobs) {
+  std::set<std::string> prints;
+  prints.insert(baselines::vroom().fingerprint());
+  prints.insert(baselines::http2_baseline().fingerprint());
+  prints.insert(baselines::http11().fingerprint());
+  prints.insert(baselines::vroom_offline_only().fingerprint());
+  prints.insert(baselines::push_all_fetch_asap().fingerprint());
+  prints.insert(baselines::lower_bound_network().fingerprint());
+  // A knob change without a name change must still change the fingerprint.
+  baselines::Strategy tweaked = baselines::vroom();
+  tweaked.provider.max_hints = 10;
+  prints.insert(tweaked.fingerprint());
+  baselines::Strategy crawl = baselines::vroom();
+  crawl.provider.offline.spacing = sim::hours(2);
+  prints.insert(crawl.fingerprint());
+  EXPECT_EQ(prints.size(), 8u);
+  // Stable across calls.
+  EXPECT_EQ(baselines::vroom().fingerprint(), baselines::vroom().fingerprint());
+}
+
+TEST(ResultCache, GetMissesThenHitsAfterPut) {
+  const std::string dir = fresh_dir("basic");
+  harness::ResultCache cache(dir);
+  const std::string key =
+      harness::result_cache_key(baselines::vroom(), {}, 3, 17);
+  EXPECT_FALSE(cache.get(key).has_value());
+  browser::LoadResult r;
+  r.finished = true;
+  r.plt = sim::ms(4321);
+  r.requests = 12;
+  cache.put(key, r);
+  const auto hit = cache.get(key);
+  ASSERT_TRUE(hit.has_value());
+  expect_identical(r, *hit);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.errors, 0u);
+}
+
+TEST(ResultCache, CorruptAndMismatchedEntriesDegradeToMisses) {
+  const std::string dir = fresh_dir("corrupt");
+  harness::ResultCache cache(dir);
+  const std::string key =
+      harness::result_cache_key(baselines::vroom(), {}, 3, 17);
+  browser::LoadResult r;
+  r.plt = sim::ms(10);
+  cache.put(key, r);
+
+  // Overwrite the entry with garbage: the next get must miss, not lie.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::ofstream f(entry.path(), std::ios::binary | std::ios::trunc);
+    f << "not a cache entry";
+  }
+  EXPECT_FALSE(cache.get(key).has_value());
+  EXPECT_GE(cache.stats().errors, 1u);
+}
+
+TEST(ResultCache, FromEnvHonorsSwitch) {
+  {
+    ScopedEnv env("VROOM_RESULT_CACHE", nullptr);
+    EXPECT_EQ(harness::ResultCache::from_env(), nullptr);
+  }
+  {
+    ScopedEnv env("VROOM_RESULT_CACHE", "");
+    EXPECT_EQ(harness::ResultCache::from_env(), nullptr);  // empty means off
+  }
+  {
+    ScopedEnv env("VROOM_RESULT_CACHE", "/tmp/vroom-cache");
+    const auto cache = harness::ResultCache::from_env();
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->dir(), "/tmp/vroom-cache");
+  }
+}
+
+TEST(ResultCache, UncacheableOptionsAreRefused) {
+  harness::RunOptions plain;
+  EXPECT_TRUE(harness::result_cache_usable(plain));
+  harness::RunOptions warm;
+  browser::Cache browser_cache;
+  warm.cache = &browser_cache;
+  EXPECT_FALSE(harness::result_cache_usable(warm));
+  harness::RunOptions traced;
+  traced.trace_sink = [](const trace::Recorder&) {};
+  EXPECT_FALSE(harness::result_cache_usable(traced));
+  {
+    ScopedEnv env("VROOM_TRACE", "/tmp/traces");
+    EXPECT_FALSE(harness::result_cache_usable(plain));
+  }
+}
+
+// The acceptance path: sweep, then sweep again — the second run must be
+// answered ~entirely from the cache with bit-identical results, at a
+// worker count different from the first run's.
+TEST(ResultCache, SecondSweepHitsAndMatchesAtAnyWorkerCount) {
+  ScopedEnv jobs_env("VROOM_JOBS", nullptr);
+  ScopedEnv pages_env("VROOM_BENCH_PAGES", nullptr);
+  ScopedEnv trace_env("VROOM_TRACE", nullptr);
+  const std::string dir = fresh_dir("sweep");
+  ScopedEnv cache_env("VROOM_RESULT_CACHE", dir.c_str());
+
+  const web::Corpus corpus = web::Corpus::smoke(7);
+  const harness::RunOptions opt;
+  const std::vector<baselines::Strategy> strategies = {
+      baselines::http2_baseline(), baselines::vroom()};
+
+  fleet::Telemetry cold_telemetry;
+  fleet::FleetOptions cold;
+  cold.workers = 4;
+  cold.telemetry = &cold_telemetry;
+  const auto first = fleet::run_matrix(corpus, strategies, opt, cold);
+  EXPECT_EQ(cold_telemetry.summary().jobs_from_cache, 0u);
+
+  fleet::Telemetry warm_telemetry;
+  fleet::FleetOptions warm;
+  warm.workers = 2;  // different pool shape must not matter
+  warm.telemetry = &warm_telemetry;
+  const auto second = fleet::run_matrix(corpus, strategies, opt, warm);
+
+  const auto s = warm_telemetry.summary();
+  EXPECT_EQ(s.jobs_from_cache, s.jobs_completed);  // 100% hits
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].strategy, second[i].strategy);
+    ASSERT_EQ(first[i].loads.size(), second[i].loads.size());
+    for (std::size_t p = 0; p < first[i].loads.size(); ++p) {
+      expect_identical(first[i].loads[p], second[i].loads[p]);
+    }
+  }
+  // And the CSV the benches would export is byte-identical.
+  const auto csv = [](const harness::CorpusResult& r) {
+    return harness::series_to_csv({{r.strategy, r.plt_seconds()}});
+  };
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(csv(first[i]), csv(second[i]));
+  }
+}
+
+// Concurrent hits and misses against one directory: workers race get/put on
+// overlapping keys (half the corpus pre-seeded). Run under -DVROOM_TSAN=ON
+// via the `cache`/`fleet` ctest labels.
+TEST(ResultCache, ConcurrentMixedHitsAndMissesStayIdentical) {
+  ScopedEnv jobs_env("VROOM_JOBS", nullptr);
+  ScopedEnv pages_env("VROOM_BENCH_PAGES", nullptr);
+  ScopedEnv trace_env("VROOM_TRACE", nullptr);
+  const std::string dir = fresh_dir("mixed");
+
+  const web::Corpus corpus = web::Corpus::smoke(9, /*count=*/6);
+  harness::RunOptions opt;
+  opt.loads_per_page = 2;
+
+  // Pre-seed half the jobs by sweeping a 3-page prefix corpus.
+  {
+    ScopedEnv cache_env("VROOM_RESULT_CACHE", dir.c_str());
+    ScopedEnv prefix_env("VROOM_BENCH_PAGES", "3");
+    fleet::FleetOptions fo;
+    fo.workers = 2;
+    fleet::run_corpus(corpus, baselines::vroom(), opt, fo);
+  }
+
+  // Reference result with the cache off.
+  fleet::FleetOptions serial;
+  serial.workers = 1;
+  const auto reference =
+      fleet::run_corpus(corpus, baselines::vroom(), opt, serial);
+
+  // Full sweep with the half-warm cache and a wide pool.
+  fleet::Telemetry telemetry;
+  fleet::FleetOptions wide;
+  wide.workers = 8;
+  wide.telemetry = &telemetry;
+  ScopedEnv cache_env("VROOM_RESULT_CACHE", dir.c_str());
+  const auto mixed = fleet::run_corpus(corpus, baselines::vroom(), opt, wide);
+
+  const auto s = telemetry.summary();
+  EXPECT_EQ(s.jobs_from_cache, 6u);  // 3 pages x 2 loads pre-seeded
+  EXPECT_EQ(s.jobs_completed, 12u);
+  EXPECT_EQ(reference.strategy, mixed.strategy);
+  ASSERT_EQ(reference.loads.size(), mixed.loads.size());
+  for (std::size_t p = 0; p < reference.loads.size(); ++p) {
+    expect_identical(reference.loads[p], mixed.loads[p]);
+  }
+}
+
+}  // namespace
+}  // namespace vroom

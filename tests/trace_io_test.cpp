@@ -1,3 +1,6 @@
+#include <cstdlib>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "baselines/strategies.h"
@@ -133,6 +136,22 @@ TEST(ExportTest, SlugifyAndCsvShape) {
   const std::string csv = harness::series_to_csv(
       {{"A", {1.0, 2.0}}, {"B", {3.0}}});
   EXPECT_EQ(csv, "\"A\",\"B\"\n1,3\n2,\n");
+}
+
+TEST(ExportTest, CsvDoublesRoundTripExactly) {
+  // The default stream precision (6 significant digits) truncated PLT/AFT
+  // series; max_digits10 output must parse back to the identical double.
+  const std::vector<double> values = {
+      1.0 / 3.0, 0.1, 123456.78901234567, 1e-9, 98765.4321,
+      sim::to_seconds(sim::ms(1234567) + 89)};
+  const std::string csv = harness::series_to_csv({{"plt_s", values}});
+  std::istringstream is(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));  // header
+  for (double expected : values) {
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(std::strtod(line.c_str(), nullptr), expected) << line;
+  }
 }
 
 TEST(ExportTest, TimingsCsvHasHeaderAndRows) {

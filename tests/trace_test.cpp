@@ -365,8 +365,8 @@ TEST(Trace, IdenticalSeedsGiveByteIdenticalTracesAtAnyJobCount) {
   int compared = 0;
   for (const auto& page : corpus.pages()) {
     for (int load = 0; load < opt.loads_per_page; ++load) {
-      const std::uint64_t nonce = sim::derive_seed(
-          opt.seed ^ page.page_id(), "load-nonce-" + std::to_string(load));
+      const std::uint64_t nonce =
+          harness::derive_load_nonce(opt.seed, page.page_id(), load);
       const std::string name = "/trace_" + slug + "_p" +
           std::to_string(page.page_id()) + "_n" + std::to_string(nonce) +
           ".json";
@@ -411,6 +411,46 @@ TEST(Trace, EnvTraceDirHonorsSwitch) {
     EXPECT_TRUE(trace::env_trace_dir(dir));
     EXPECT_EQ(dir, "/tmp/traces");
   }
+}
+
+// Trace-backed invariant (the template for future ones): assertions on the
+// *event stream* of a load catch violations that aggregate metrics average
+// away. Here: an HTTP/2 load multiplexes every request over one connection
+// per domain, so it must never pay an HTTP/1.1 head-of-line queue wait —
+// neither as an `h1.queue_wait` span nor in the `http.h1_hol_waits` counter.
+TEST(Trace, Http2LoadReplayHasNoH1HolWaits) {
+  ScopedEnv trace_env("VROOM_TRACE", nullptr);
+  const web::PageModel page = web::generate_page(42, 3, web::PageClass::News);
+  harness::RunOptions opt;
+  opt.seed = 42;
+
+  auto hol_waits = [&](const baselines::Strategy& strategy) {
+    int wait_events = 0;
+    std::int64_t wait_counter = 0;
+    harness::RunOptions traced = opt;
+    traced.trace_sink = [&](const trace::Recorder& rec) {
+      for (const auto& ev : rec.events()) {
+        if (ev.name == "h1.queue_wait") ++wait_events;
+      }
+      wait_counter = rec.counters().value("http.h1_hol_waits");
+    };
+    const auto r = harness::run_page_load(page, strategy, traced, 1);
+    EXPECT_TRUE(r.finished);
+    // Counter and event stream must agree — and the snapshot carried in the
+    // LoadResult (what corpus-level checks see) must match too.
+    std::int64_t snapshot = 0;
+    for (const auto& [name, value] : r.trace_counters) {
+      if (name == "http.h1_hol_waits") snapshot = value;
+    }
+    EXPECT_EQ(wait_counter, snapshot);
+    EXPECT_EQ(wait_events, static_cast<int>(wait_counter));
+    return wait_events;
+  };
+
+  EXPECT_EQ(hol_waits(baselines::http2_baseline()), 0);
+  // The probe is live: the same page over HTTP/1.1 (6 connections per
+  // domain) does queue behind busy connections.
+  EXPECT_GT(hol_waits(baselines::http11()), 0);
 }
 
 TEST(Waterfall, TableListsRequestsInOrder) {
