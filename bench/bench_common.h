@@ -5,6 +5,10 @@
 // and link, see EXPERIMENTS.md). Set VROOM_BENCH_PAGES=<n> to cap corpus
 // size for quick runs and VROOM_JOBS=<n> to size the worker pool (results
 // are bit-identical for any worker count; fleet telemetry goes to stderr).
+//
+// Benches sweep their entire (corpus × strategy) grid through one
+// fleet::SweepPlan pool — multi-corpus grids included — so no strategy or
+// corpus serializes behind another and the longest pages dispatch first.
 #pragma once
 
 #include <cstdio>
@@ -27,18 +31,27 @@ inline harness::RunOptions default_options() {
   return opt;
 }
 
-// Fans the whole strategy grid through one fleet queue and prints the run's
-// telemetry to stderr — stdout carries only the deterministic tables.
+// Executes a declarative (corpus × strategy) plan on one shared pool and
+// prints the run's telemetry (with per-cell rows) to stderr — stdout
+// carries only the deterministic tables. Results come back in plan order.
+inline std::vector<harness::CorpusResult> run_plan(
+    const fleet::SweepPlan& plan) {
+  fleet::Telemetry telemetry;
+  fleet::FleetOptions fo;
+  fo.telemetry = &telemetry;
+  auto results = fleet::run_plan(plan, fo);
+  telemetry.print(stderr);
+  return results;
+}
+
+// One-corpus convenience: fans the strategy grid through one pool.
 inline std::vector<harness::CorpusResult> run_matrix(
     const web::Corpus& corpus,
     const std::vector<baselines::Strategy>& strategies,
     const harness::RunOptions& opt) {
-  fleet::Telemetry telemetry;
-  fleet::FleetOptions fo;
-  fo.telemetry = &telemetry;
-  auto results = fleet::run_matrix(corpus, strategies, opt, fo);
-  telemetry.print(stderr);
-  return results;
+  fleet::SweepPlan plan;
+  plan.add_matrix(corpus, strategies, opt);
+  return bench::run_plan(plan);
 }
 
 inline harness::Series plt_series(const web::Corpus& corpus,

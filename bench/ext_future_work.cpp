@@ -18,13 +18,15 @@ int main() {
 
   // 1. Vroom + Polaris, including the tail the paper highlights.
   {
-    auto vr = harness::run_corpus(ns, baselines::vroom(), opt);
-    auto combo = harness::run_corpus(ns, baselines::vroom_plus_polaris(), opt);
-    auto pol = harness::run_corpus(ns, baselines::polaris(), opt);
+    const auto results = bench::run_matrix(
+        ns,
+        {baselines::vroom(), baselines::vroom_plus_polaris(),
+         baselines::polaris()},
+        opt);
     harness::print_cdf_table("Vroom + Polaris combination", "seconds PLT",
-                             {{"Vroom", vr.plt_seconds()},
-                              {"Vroom + Polaris", combo.plt_seconds()},
-                              {"Polaris", pol.plt_seconds()}});
+                             {{"Vroom", results[0].plt_seconds()},
+                              {"Vroom + Polaris", results[1].plt_seconds()},
+                              {"Polaris", results[2].plt_seconds()}});
   }
 
   // 2. Cross-page offline resolution (§7).

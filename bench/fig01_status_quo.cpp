@@ -12,11 +12,14 @@ int main() {
   const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
   const baselines::Strategy today = baselines::http11();
 
+  // Both corpora ride one SweepPlan pool rather than sweeping back-to-back.
+  fleet::SweepPlan plan;
+  plan.add(top, today, opt).add(ns, today, opt);
+  const auto results = bench::run_plan(plan);
+
   harness::print_cdf_table(
       "Page Load Time", "seconds",
-      {{"Top 100 Overall",
-        harness::run_corpus(top, today, opt).plt_seconds()},
-       {"Top 50 News + Top 50 Sports",
-        harness::run_corpus(ns, today, opt).plt_seconds()}});
+      {{"Top 100 Overall", results[0].plt_seconds()},
+       {"Top 50 News + Top 50 Sports", results[1].plt_seconds()}});
   return 0;
 }

@@ -12,9 +12,14 @@ int main() {
   const harness::RunOptions opt = bench::default_options();
   const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
 
-  auto network = harness::run_corpus(ns, baselines::lower_bound_network(), opt);
-  auto cpu = harness::run_corpus(ns, baselines::lower_bound_cpu(), opt);
-  auto web_loads = harness::run_corpus(ns, baselines::http11(), opt);
+  const auto results = bench::run_matrix(
+      ns,
+      {baselines::lower_bound_network(), baselines::lower_bound_cpu(),
+       baselines::http11()},
+      opt);
+  const auto& network = results[0];
+  const auto& cpu = results[1];
+  const auto& web_loads = results[2];
 
   std::vector<double> bound;
   const auto net_s = network.plt_seconds();

@@ -11,21 +11,29 @@ int main() {
   bench::banner("Figure 13", "PLT / AFT / Speed Index, headline comparison");
   const harness::RunOptions opt = bench::default_options();
   const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
+  const web::Corpus mixed = web::Corpus::mixed400_sample(bench::kSeed);
 
-  // One fleet matrix covers every News+Sports series (including the §6.1
-  // first-party-only run) so all jobs share one worker pool.
-  const auto ns_results = bench::run_matrix(
+  // The full figure grid — every News+Sports series (including the §6.1
+  // first-party-only run) plus the Mixed-400 §6.1 pair — rides one
+  // SweepPlan pool, so no corpus or strategy serializes behind another.
+  fleet::SweepPlan plan;
+  plan.add_matrix(
       ns,
       {baselines::lower_bound_network(), baselines::lower_bound_cpu(),
        baselines::vroom(), baselines::http2_baseline(), baselines::http11(),
        baselines::vroom_first_party_only()},
       opt);
-  const auto& lb_net = ns_results[0];
-  const auto& lb_cpu = ns_results[1];
-  const auto& vr = ns_results[2];
-  const auto& h2 = ns_results[3];
-  const auto& h1 = ns_results[4];
-  const auto& partial = ns_results[5];
+  plan.add_matrix(mixed, {baselines::http2_baseline(), baselines::vroom()},
+                  opt);
+  const auto results = bench::run_plan(plan);
+  const auto& lb_net = results[0];
+  const auto& lb_cpu = results[1];
+  const auto& vr = results[2];
+  const auto& h2 = results[3];
+  const auto& h1 = results[4];
+  const auto& partial = results[5];
+  const auto& mixed_h2 = results[6];
+  const auto& mixed_vr = results[7];
 
   auto bound_of = [&](auto getter) {
     std::vector<double> out;
@@ -62,12 +70,6 @@ int main() {
        {"HTTP/1.1", h1.speed_indices()}});
 
   // §6.1 text results.
-  const web::Corpus mixed = web::Corpus::mixed400_sample(bench::kSeed);
-  const auto mixed_results = bench::run_matrix(
-      mixed, {baselines::http2_baseline(), baselines::vroom()}, opt);
-  const auto& mixed_h2 = mixed_results[0];
-  const auto& mixed_vr = mixed_results[1];
-
   std::printf("\n-- §6.1 text results --\n");
   harness::print_stat("Mixed-400 median PLT, HTTP/2",
                       harness::median(mixed_h2.plt_seconds()), "s");

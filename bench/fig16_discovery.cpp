@@ -23,8 +23,10 @@ int main() {
   const harness::RunOptions opt = bench::default_options();
   const web::Corpus ns = web::Corpus::news_sports(bench::kSeed);
 
-  auto h2 = harness::run_corpus(ns, baselines::http2_baseline(), opt);
-  auto vr = harness::run_corpus(ns, baselines::vroom(), opt);
+  const auto results = bench::run_matrix(
+      ns, {baselines::http2_baseline(), baselines::vroom()}, opt);
+  const auto& h2 = results[0];
+  const auto& vr = results[1];
 
   auto column = [&](auto getter) {
     std::vector<double> base, vroomv;

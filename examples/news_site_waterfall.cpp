@@ -11,6 +11,7 @@
 #include <string>
 
 #include "baselines/strategies.h"
+#include "harness/env.h"
 #include "harness/experiment.h"
 #include "harness/export.h"
 #include "trace/waterfall.h"
@@ -48,12 +49,11 @@ int main(int argc, char** argv) {
                          harness::timings_to_csv(vr))) {
     std::printf("Wrote /tmp/waterfall_http2.csv and /tmp/waterfall_vroom.csv\n");
   }
-  if (const char* dir = std::getenv("VROOM_TRACE")) {
-    if (*dir != '\0') {
-      std::printf("Wrote Chrome-trace JSON to %s/ — load a file in\n"
-                  "https://ui.perfetto.dev or chrome://tracing\n",
-                  dir);
-    }
+  const harness::Env env = harness::Env::from_environment();
+  if (env.trace_enabled()) {
+    std::printf("Wrote Chrome-trace JSON to %s/ — load a file in\n"
+                "https://ui.perfetto.dev or chrome://tracing\n",
+                env.trace_dir.c_str());
   }
   return 0;
 }

@@ -8,10 +8,10 @@
 // Set VROOM_TRACE=<dir> to also write Chrome-trace JSON files (open in
 // Perfetto / chrome://tracing).
 #include <cstdio>
-#include <cstdlib>
 #include <utility>
 
 #include "baselines/strategies.h"
+#include "harness/env.h"
 #include "harness/experiment.h"
 #include "trace/waterfall.h"
 #include "web/page_generator.h"
@@ -49,12 +49,11 @@ int main() {
   trace::WaterfallOptions wf;
   wf.max_rows = 12;
   std::printf("\n%s", trace::waterfall_table("Vroom", vroom_load, wf).c_str());
-  if (const char* dir = std::getenv("VROOM_TRACE")) {
-    if (*dir != '\0') {
-      std::printf("\nWrote Chrome-trace JSON to %s/ — load a file in\n"
-                  "https://ui.perfetto.dev or chrome://tracing\n",
-                  dir);
-    }
+  const harness::Env env = harness::Env::from_environment();
+  if (env.trace_enabled()) {
+    std::printf("\nWrote Chrome-trace JSON to %s/ — load a file in\n"
+                "https://ui.perfetto.dev or chrome://tracing\n",
+                env.trace_dir.c_str());
   }
 
   std::printf(

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Guards the result-cache salt: cached LoadResults are keyed by code version
+# (kResultCacheSaltVersion in src/harness/result_cache.h), so any change to
+# the simulation layers can silently serve stale results unless the salt is
+# bumped in the same change.
+#
+# Usage: scripts/check_cache_salt.sh [base-ref]
+#   base-ref defaults to $VROOM_SALT_BASE, then HEAD (i.e. check the working
+#   tree against the last commit). In CI, pass the merge base of the PR.
+#
+# Passes when:
+#   - no file under the simulation layers changed relative to base, or
+#   - the diff also changes the `kResultCacheSaltVersion = <n>` line.
+# Skips (exit 0) when not run inside a git work tree or the base ref does
+# not resolve — a tarball build has nothing to compare against.
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+base="${1:-${VROOM_SALT_BASE:-HEAD}}"
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "[check_cache_salt] not a git work tree; skipping" >&2
+  exit 0
+fi
+if ! git rev-parse --verify --quiet "${base}^{commit}" >/dev/null; then
+  echo "[check_cache_salt] base ref '${base}' does not resolve; skipping" >&2
+  exit 0
+fi
+
+# Committed and uncommitted changes vs base, including staged ones.
+changed=$(git diff --name-only "${base}" -- 2>/dev/null)
+
+sim_layers='^src/(sim|net|http|browser|server|web|core|baselines)/'
+sim_changed=$(printf '%s\n' "${changed}" | grep -E "${sim_layers}" || true)
+
+if [ -z "${sim_changed}" ]; then
+  echo "[check_cache_salt] no simulation-layer changes vs ${base}; ok"
+  exit 0
+fi
+
+if git diff "${base}" -- src/harness/result_cache.h |
+    grep -qE '^\+.*kResultCacheSaltVersion *='; then
+  echo "[check_cache_salt] simulation-layer changes with a salt bump; ok"
+  exit 0
+fi
+
+echo "[check_cache_salt] FAIL: files under the simulation layers changed" >&2
+echo "relative to ${base} without bumping kResultCacheSaltVersion in" >&2
+echo "src/harness/result_cache.h:" >&2
+printf '%s\n' "${sim_changed}" | sed 's/^/    /' >&2
+echo "Cached results from VROOM_RESULT_CACHE would go stale silently." >&2
+echo "Bump the salt (any simulation-visible change) or revert." >&2
+exit 1

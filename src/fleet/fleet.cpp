@@ -1,14 +1,15 @@
 #include "fleet/fleet.h"
 
 #include <atomic>
-#include <charconv>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <memory>
+#include <optional>
 #include <thread>
+#include <utility>
 
 #include "fleet/job_queue.h"
+#include "harness/env.h"
 #include "harness/export.h"
 #include "harness/result_cache.h"
 
@@ -36,8 +37,7 @@ class ProgressTicker {
  public:
   ProgressTicker(const JobQueue& queue, const Telemetry& telemetry)
       : queue_(queue), telemetry_(telemetry), start_(monotonic_seconds()) {
-    const char* env = std::getenv("VROOM_PROGRESS");
-    enabled_ = env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+    enabled_ = harness::Env::from_environment().progress;
   }
 
   void tick() {
@@ -75,63 +75,108 @@ class ProgressTicker {
   std::atomic<double> next_redraw_{0};
 };
 
+// One plan cell, compiled: page/load extents, the flat-grid slot offset,
+// the resolved display label, and whether the result cache may serve it.
+struct CompiledCell {
+  int pages = 0;
+  int loads = 0;
+  std::size_t slot_offset = 0;
+  bool cacheable = false;
+  std::string label;
+};
+
 }  // namespace
 
 int resolve_worker_count(int requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("VROOM_JOBS")) {
-    int value = 0;
-    const char* end = env + std::strlen(env);
-    const auto [ptr, ec] = std::from_chars(env, end, value);
-    if (ec == std::errc() && ptr == end && value > 0) return value;
-    std::fprintf(stderr,
-                 "[fleet] warning: ignoring invalid VROOM_JOBS=\"%s\" "
-                 "(want a positive integer); using %d workers\n",
-                 env, hardware_workers());
-  }
+  const int env_jobs = harness::Env::from_environment().jobs;
+  if (env_jobs > 0) return env_jobs;
   return hardware_workers();
 }
 
-std::vector<harness::CorpusResult> run_matrix(
-    const web::Corpus& corpus,
-    const std::vector<baselines::Strategy>& strategies,
-    const harness::RunOptions& options, const FleetOptions& fleet) {
-  const int n_strategies = static_cast<int>(strategies.size());
-  const int n_pages = harness::effective_page_count(
-      static_cast<int>(corpus.size()));
-  const int loads = options.loads_per_page;
+std::vector<harness::CorpusResult> run_plan(const SweepPlan& plan,
+                                            const FleetOptions& fleet) {
+  const int n_cells = static_cast<int>(plan.cells.size());
 
-  std::vector<harness::CorpusResult> results(
-      static_cast<std::size_t>(n_strategies));
-  for (int s = 0; s < n_strategies; ++s) {
-    results[static_cast<std::size_t>(s)].strategy =
-        strategies[static_cast<std::size_t>(s)].name;
+  // Compile the plan: per-cell extents and flat result-grid offsets. Each
+  // cell may bring its own loads_per_page / options, so offsets accumulate.
+  std::vector<CompiledCell> cells(static_cast<std::size_t>(n_cells));
+  std::size_t total_jobs = 0;
+  bool any_warm_cache = false;
+  bool any_cacheable = false;
+  for (int c = 0; c < n_cells; ++c) {
+    const SweepCell& cell = plan.cells[static_cast<std::size_t>(c)];
+    CompiledCell& cc = cells[static_cast<std::size_t>(c)];
+    cc.pages = harness::effective_page_count(
+        static_cast<int>(cell.corpus->size()));
+    cc.loads = cell.options.loads_per_page;
+    cc.slot_offset = total_jobs;
+    cc.cacheable = harness::result_cache_usable(cell.options);
+    cc.label = cell.label.empty() ? cell.strategy.name : cell.label;
+    total_jobs += static_cast<std::size_t>(cc.pages) *
+                  static_cast<std::size_t>(cc.loads);
+    any_warm_cache |= cell.options.cache != nullptr;
+    any_cacheable |= cc.cacheable;
   }
 
-  JobQueue queue(JobQueue::grid(n_strategies, n_pages, loads));
+  // The flat job list, first in serial (cell, page, load) visit order.
+  std::vector<Job> jobs;
+  jobs.reserve(total_jobs);
+  for (int c = 0; c < n_cells; ++c) {
+    for (int p = 0; p < cells[static_cast<std::size_t>(c)].pages; ++p) {
+      for (int l = 0; l < cells[static_cast<std::size_t>(c)].loads; ++l) {
+        jobs.push_back(Job{c, p, l});
+      }
+    }
+  }
 
   int workers = resolve_worker_count(fleet.workers);
   // A shared warm cache is mutated in load order; parallel execution would
   // change which loads hit it. Degrade to the serial order instead.
-  if (options.cache != nullptr) workers = 1;
-  if (queue.size() < static_cast<std::size_t>(workers)) {
-    workers = static_cast<int>(queue.size());
+  if (any_warm_cache) workers = 1;
+  if (total_jobs < static_cast<std::size_t>(workers)) {
+    workers = static_cast<int>(total_jobs);
   }
   if (workers < 1) workers = 1;
+
+  // Dispatch order. One worker keeps the serial grid order — that is the
+  // documented VROOM_JOBS=1 "replay the serial path" mode, and warm-cache
+  // cells depend on it. A real pool dispatches longest-job-first (page
+  // resource count as the size proxy) so the heaviest pages start early
+  // instead of straggling at the tail; the order is a pure function of the
+  // plan (ties by job identity), and results never depend on it — slots
+  // and seeds are job-identity-based.
+  if (workers > 1) {
+    jobs = order_longest_first(
+        std::move(jobs), [&plan](const Job& job) -> std::size_t {
+          return plan.cells[static_cast<std::size_t>(job.cell_index)]
+              .corpus->page(static_cast<std::size_t>(job.page_index))
+              .size();
+        });
+  }
+  JobQueue queue(std::move(jobs));
 
   Telemetry local_telemetry;
   Telemetry* telemetry =
       fleet.telemetry != nullptr ? fleet.telemetry : &local_telemetry;
-  telemetry->begin_run(workers, queue.size());
+  std::vector<Telemetry::CellPlan> cell_plans;
+  cell_plans.reserve(static_cast<std::size_t>(n_cells));
+  for (const CompiledCell& cc : cells) {
+    cell_plans.push_back(Telemetry::CellPlan{
+        cc.label, static_cast<std::size_t>(cc.pages) *
+                      static_cast<std::size_t>(cc.loads)});
+  }
+  telemetry->begin_run(workers, queue.size(), std::move(cell_plans));
   ProgressTicker ticker(queue, *telemetry);
 
   // Opt-in result cache (VROOM_RESULT_CACHE=<dir>): identical jobs from
-  // earlier sweeps are answered from disk instead of re-simulated. Runs
+  // earlier sweeps are answered from disk instead of re-simulated. Cells
   // whose results the cache cannot represent faithfully — warm-cache
-  // (order-dependent) and traced (per-load side effects) — bypass it.
+  // (order-dependent) and traced (per-load side effects) — bypass it;
+  // other cells of the same plan still use it.
   std::unique_ptr<harness::ResultCache> cache = harness::ResultCache::
       from_env();
-  if (cache != nullptr && !harness::result_cache_usable(options)) {
+  if (cache != nullptr && !any_cacheable) {
     std::fprintf(stderr,
                  "[fleet] note: VROOM_RESULT_CACHE set but this run is not "
                  "cacheable (warm cache or tracing active); bypassing\n");
@@ -141,11 +186,11 @@ std::vector<harness::CorpusResult> run_matrix(
   // Flat result grid, one pre-assigned slot per job: workers never write to
   // overlapping memory, and claim order cannot affect where results land.
   std::vector<browser::LoadResult> grid(queue.size());
-  auto slot = [n_pages, loads](const Job& job) -> std::size_t {
-    return (static_cast<std::size_t>(job.strategy_index) *
-                static_cast<std::size_t>(n_pages) +
-            static_cast<std::size_t>(job.page_index)) *
-               static_cast<std::size_t>(loads) +
+  auto slot = [&cells](const Job& job) -> std::size_t {
+    const CompiledCell& cc = cells[static_cast<std::size_t>(job.cell_index)];
+    return cc.slot_offset +
+           static_cast<std::size_t>(job.page_index) *
+               static_cast<std::size_t>(cc.loads) +
            static_cast<std::size_t>(job.load_index);
   };
 
@@ -153,42 +198,45 @@ std::vector<harness::CorpusResult> run_matrix(
     while (std::optional<Job> job = queue.pop()) {
       telemetry->job_started(worker_id);
       const double started = monotonic_seconds();
+      const SweepCell& cell =
+          plan.cells[static_cast<std::size_t>(job->cell_index)];
+      const bool cell_cacheable =
+          cells[static_cast<std::size_t>(job->cell_index)].cacheable;
       const web::PageModel& page =
-          corpus.page(static_cast<std::size_t>(job->page_index));
-      const baselines::Strategy& strategy =
-          strategies[static_cast<std::size_t>(job->strategy_index)];
+          cell.corpus->page(static_cast<std::size_t>(job->page_index));
       // Seed derivation matches harness::run_page_median exactly: the nonce
       // depends only on (seed, page id, load index).
       const std::uint64_t nonce = harness::derive_load_nonce(
-          options.seed, page.page_id(), job->load_index);
+          cell.options.seed, page.page_id(), job->load_index);
       browser::LoadResult result;
       bool from_cache = false;
       std::string key;
-      if (cache != nullptr) {
-        key = harness::result_cache_key(strategy, options, page.page_id(),
-                                        nonce);
+      if (cache != nullptr && cell_cacheable) {
+        key = harness::result_cache_key(cell.strategy, cell.options,
+                                        page.page_id(), nonce);
         if (std::optional<browser::LoadResult> hit = cache->get(key)) {
           result = std::move(*hit);
           from_cache = true;
-          telemetry->job_from_cache(worker_id);
+          telemetry->job_from_cache(worker_id, job->cell_index);
         }
       }
       if (!from_cache) {
-        result = harness::run_page_load(page, strategy, options, nonce);
-        if (cache != nullptr) cache->put(key, result);
+        result = harness::run_page_load(page, cell.strategy, cell.options,
+                                        nonce);
+        if (cache != nullptr && cell_cacheable) cache->put(key, result);
       }
       const sim::Time simulated = result.plt;
       grid[slot(*job)] = std::move(result);
-      telemetry->job_finished(worker_id, monotonic_seconds() - started,
-                              simulated);
+      telemetry->job_finished(worker_id, job->cell_index,
+                              monotonic_seconds() - started, simulated);
       ticker.tick();
     }
   };
 
   if (workers == 1) {
-    // Serial path: drain the queue on the calling thread. Grid order is
-    // strategy-major then page-major then load-major — the exact visit
-    // order of the historical serial sweep.
+    // Serial path: drain the queue on the calling thread in grid order —
+    // cell-major then page-major then load-major, the exact visit order of
+    // the historical serial sweep.
     worker_loop(0);
   } else {
     std::vector<std::thread> pool;
@@ -212,32 +260,47 @@ std::vector<harness::CorpusResult> run_matrix(
                  static_cast<unsigned long long>(cs.errors));
   }
 
-  // Median selection in load-index order, identical to run_page_median.
-  for (int s = 0; s < n_strategies; ++s) {
-    auto& out = results[static_cast<std::size_t>(s)];
-    out.loads.reserve(static_cast<std::size_t>(n_pages));
-    for (int p = 0; p < n_pages; ++p) {
+  // Median selection in load-index order, identical to run_page_median;
+  // per-cell results in plan order.
+  std::vector<harness::CorpusResult> results(
+      static_cast<std::size_t>(n_cells));
+  for (int c = 0; c < n_cells; ++c) {
+    const CompiledCell& cc = cells[static_cast<std::size_t>(c)];
+    auto& out = results[static_cast<std::size_t>(c)];
+    out.strategy = cc.label;
+    out.loads.reserve(static_cast<std::size_t>(cc.pages));
+    for (int p = 0; p < cc.pages; ++p) {
       std::vector<browser::LoadResult> runs;
-      runs.reserve(static_cast<std::size_t>(loads));
-      for (int l = 0; l < loads; ++l) {
-        runs.push_back(std::move(grid[slot(Job{s, p, l})]));
+      runs.reserve(static_cast<std::size_t>(cc.loads));
+      for (int l = 0; l < cc.loads; ++l) {
+        runs.push_back(std::move(grid[slot(Job{c, p, l})]));
       }
       out.loads.push_back(harness::select_median_load(std::move(runs)));
     }
     // Tracing runs export their aggregated counters alongside the figure
     // CSVs (no-op when tracing was off or VROOM_OUT_DIR is unset).
-    harness::maybe_export_counters("trace counters " + out.strategy,
+    harness::maybe_export_counters("trace counters " + cc.label,
                                    out.counter_totals());
   }
   return results;
+}
+
+std::vector<harness::CorpusResult> run_matrix(
+    const web::Corpus& corpus,
+    const std::vector<baselines::Strategy>& strategies,
+    const harness::RunOptions& options, const FleetOptions& fleet) {
+  SweepPlan plan;
+  plan.add_matrix(corpus, strategies, options);
+  return run_plan(plan, fleet);
 }
 
 harness::CorpusResult run_corpus(const web::Corpus& corpus,
                                  const baselines::Strategy& strategy,
                                  const harness::RunOptions& options,
                                  const FleetOptions& fleet) {
-  return std::move(
-      run_matrix(corpus, {strategy}, options, fleet).front());
+  SweepPlan plan;
+  plan.add(corpus, strategy, options);
+  return std::move(run_plan(plan, fleet).front());
 }
 
 }  // namespace vroom::fleet

@@ -1,18 +1,33 @@
 // Parallel simulation fleet: executes corpus sweeps on a worker thread pool.
 //
-// Every (strategy, page, load) job builds a fully private simulation world
-// (event loop, network, page instance, servers, browser) exactly as the
-// serial harness does, and derives its seeds purely from the job's identity
-// — (options.seed, page id, load index) — never from execution order. The
-// determinism contract: fleet output is bit-identical to the serial sweep
-// for any worker count. `VROOM_JOBS=1` additionally preserves the serial
-// execution *order*, not just its results.
+// The entry point is declarative: a `SweepPlan` lists (corpus × strategy ×
+// options) *cells*, and `run_plan` compiles the whole plan into one flat
+// (cell, page, load) job list executed by a single shared pool — so a
+// multi-corpus bench grid (the paper's Fig 13/21 evaluation shape) never
+// pays one straggling pool tail per corpus. `run_corpus` and `run_matrix`
+// are thin wrappers over one-cell / one-corpus plans.
 //
-// Warm-cache runs (RunOptions::cache != nullptr) share one mutable cache
-// whose state depends on load order, so the fleet degrades them to a single
-// worker automatically rather than silently changing semantics.
+// Every job builds a fully private simulation world (event loop, network,
+// page instance, servers, browser) exactly as the serial harness does, and
+// derives its seeds purely from the job's identity — (cell options' seed,
+// page id, load index) — never from execution order. The determinism
+// contract: plan output is bit-identical, cell by cell, to standalone
+// serial `run_corpus` calls for any worker count. `VROOM_JOBS=1`
+// additionally preserves the serial execution *order*, not just its
+// results.
+//
+// With more than one worker, jobs dispatch in deterministic
+// longest-job-first order (page resource count as the size proxy, ties by
+// job identity — see job_queue.h) instead of FIFO, so the heaviest pages
+// cannot land last and leave the pool idling behind one straggler.
+// Dispatch order never affects results, only wall-clock time.
+//
+// Warm-cache cells (RunOptions::cache != nullptr) share one mutable cache
+// whose state depends on load order, so the fleet degrades the whole plan
+// to a single worker automatically rather than silently changing semantics.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "fleet/telemetry.h"
@@ -33,16 +48,66 @@ struct FleetOptions {
 // concurrency (at least 1).
 int resolve_worker_count(int requested);
 
-// Sweeps one strategy over the corpus. Same contract as the serial
-// harness::run_corpus: one median-of-N load per page, in page order.
+// One cell of a sweep: a full corpus swept under one strategy with its own
+// RunOptions. Cells are independent — different corpora, seeds, networks,
+// loads_per_page per cell are all fine and each cell's result is identical
+// to a standalone run_corpus(corpus, strategy, options) call.
+struct SweepCell {
+  const web::Corpus* corpus = nullptr;  // caller-owned; must outlive run_plan
+  baselines::Strategy strategy;
+  harness::RunOptions options;
+  // Names the cell in telemetry rows, CorpusResult::strategy, and the
+  // trace-counter CSV export. Empty means "use strategy.name" (the
+  // historical run_matrix behaviour). Give distinct labels when one
+  // strategy appears over several corpora, or its counter exports collide
+  // on the same file slug.
+  std::string label;
+};
+
+// A declarative (corpus × strategy) sweep: the unit the fleet executes.
+// Build with add()/add_matrix() (chainable) or fill `cells` directly.
+struct SweepPlan {
+  std::vector<SweepCell> cells;
+
+  SweepPlan& add(const web::Corpus& corpus, baselines::Strategy strategy,
+                 harness::RunOptions options = {}, std::string label = {}) {
+    cells.push_back(SweepCell{&corpus, std::move(strategy),
+                              std::move(options), std::move(label)});
+    return *this;
+  }
+
+  // One cell per strategy over a shared corpus and options — the run_matrix
+  // grid shape.
+  SweepPlan& add_matrix(const web::Corpus& corpus,
+                        const std::vector<baselines::Strategy>& strategies,
+                        const harness::RunOptions& options = {}) {
+    for (const baselines::Strategy& strategy : strategies) {
+      add(corpus, strategy, options);
+    }
+    return *this;
+  }
+};
+
+// Executes every cell of the plan on one shared worker pool and returns one
+// CorpusResult per cell, in plan order, each bit-identical to a standalone
+// run_corpus call with that cell's arguments (any worker count). The result
+// cache and telemetry integrate per cell: cacheable cells hit the cache
+// even when other cells (warm-cache / traced) bypass it, and the telemetry
+// summary carries one row per cell.
+std::vector<harness::CorpusResult> run_plan(const SweepPlan& plan,
+                                            const FleetOptions& fleet = {});
+
+// Sweeps one strategy over the corpus: a one-cell plan. Same contract as
+// the serial harness::run_corpus — one median-of-N load per page, in page
+// order.
 harness::CorpusResult run_corpus(const web::Corpus& corpus,
                                  const baselines::Strategy& strategy,
                                  const harness::RunOptions& options,
                                  const FleetOptions& fleet = {});
 
-// Fans an entire strategy × corpus grid through one shared job queue, so
-// slow strategies don't serialize behind fast ones. Results are returned in
-// strategy order, each bit-identical to a standalone run_corpus call.
+// Fans one strategy × corpus grid through one shared pool: a one-corpus
+// plan. Results are returned in strategy order, each bit-identical to a
+// standalone run_corpus call.
 std::vector<harness::CorpusResult> run_matrix(
     const web::Corpus& corpus,
     const std::vector<baselines::Strategy>& strategies,

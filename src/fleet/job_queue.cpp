@@ -1,5 +1,8 @@
 #include "fleet/job_queue.h"
 
+#include <algorithm>
+#include <tuple>
+
 namespace vroom::fleet {
 
 JobQueue::JobQueue(std::vector<Job> jobs) : jobs_(std::move(jobs)) {}
@@ -15,20 +18,41 @@ std::size_t JobQueue::remaining() const {
   return claimed >= jobs_.size() ? 0 : jobs_.size() - claimed;
 }
 
-std::vector<Job> JobQueue::grid(int strategies, int pages,
-                                int loads_per_page) {
+std::vector<Job> JobQueue::grid(int cells, int pages, int loads_per_page) {
   std::vector<Job> jobs;
-  jobs.reserve(static_cast<std::size_t>(strategies) *
+  jobs.reserve(static_cast<std::size_t>(cells) *
                static_cast<std::size_t>(pages) *
                static_cast<std::size_t>(loads_per_page));
-  for (int s = 0; s < strategies; ++s) {
+  for (int c = 0; c < cells; ++c) {
     for (int p = 0; p < pages; ++p) {
       for (int l = 0; l < loads_per_page; ++l) {
-        jobs.push_back(Job{s, p, l});
+        jobs.push_back(Job{c, p, l});
       }
     }
   }
   return jobs;
+}
+
+std::vector<Job> order_longest_first(
+    std::vector<Job> jobs,
+    const std::function<std::size_t(const Job&)>& size_of) {
+  // Sizes are looked up once per job, not once per comparison: size_of may
+  // walk corpus pages, and comparator calls are O(n log n).
+  std::vector<std::size_t> size(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) size[i] = size_of(jobs[i]);
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (size[a] != size[b]) return size[a] > size[b];
+    return std::tuple(jobs[a].cell_index, jobs[a].page_index,
+                      jobs[a].load_index) <
+           std::tuple(jobs[b].cell_index, jobs[b].page_index,
+                      jobs[b].load_index);
+  });
+  std::vector<Job> out;
+  out.reserve(jobs.size());
+  for (std::size_t i : order) out.push_back(jobs[i]);
+  return out;
 }
 
 }  // namespace vroom::fleet

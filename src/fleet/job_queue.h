@@ -1,23 +1,31 @@
 // Work distribution for the parallel simulation fleet.
 //
 // A sweep is flattened into a fixed vector of jobs up front — one job per
-// (strategy, page, load) triple — and workers claim jobs through an atomic
-// cursor. Because every job carries the indices needed to derive its seed
-// and to address its result slot, claim *order* never affects output:
-// results land in pre-assigned slots and seeding depends only on the job's
-// identity, never on which worker ran it or when.
+// (cell, page, load) triple, where a cell is one (corpus, strategy, options)
+// entry of a SweepPlan — and workers claim jobs through an atomic cursor.
+// Because every job carries the indices needed to derive its seed and to
+// address its result slot, claim *order* never affects output: results land
+// in pre-assigned slots and seeding depends only on the job's identity,
+// never on which worker ran it or when.
+//
+// Dispatch order is still a lever for wall-clock time: with FIFO in serial
+// grid order, the heaviest pages can be claimed last and leave one worker
+// simulating a 300-resource page while the rest of the pool idles.
+// `order_longest_first` reorders the grid so the biggest jobs start first
+// (classic LPT scheduling), deterministically.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <vector>
 
 namespace vroom::fleet {
 
-// One unit of work: a single load of a single page under a single strategy.
+// One unit of work: a single load of a single page under a single plan cell.
 struct Job {
-  int strategy_index = 0;
+  int cell_index = 0;
   int page_index = 0;
   int load_index = 0;
 };
@@ -34,13 +42,23 @@ class JobQueue {
   // Jobs not yet claimed. Racy by nature; useful for progress telemetry only.
   std::size_t remaining() const;
 
-  // Builds the flattened (strategy, page, load) grid in the exact order the
+  // Builds the flattened (cell, page, load) grid in the exact order the
   // serial sweep visits it, so a single-worker drain replays the serial path.
-  static std::vector<Job> grid(int strategies, int pages, int loads_per_page);
+  static std::vector<Job> grid(int cells, int pages, int loads_per_page);
 
  private:
   std::vector<Job> jobs_;
   std::atomic<std::size_t> cursor_{0};
 };
+
+// Deterministic longest-job-first dispatch order: sorts jobs by descending
+// `size_of(job)` (the caller's size proxy — the fleet uses the page's
+// resource count), with ties broken by job identity (cell, then page, then
+// load, ascending). The result is a pure function of the job set and the
+// size proxy — independent of the input order, the worker count, and any
+// prior run — so reordering can never make results irreproducible.
+std::vector<Job> order_longest_first(
+    std::vector<Job> jobs,
+    const std::function<std::size_t(const Job&)>& size_of);
 
 }  // namespace vroom::fleet

@@ -1,0 +1,45 @@
+// The process environment, parsed in one place.
+//
+// Every VROOM_* knob the toolkit honours is read and validated here —
+// nowhere else calls getenv for them. Call Env::from_environment() at the
+// point of use (it re-reads the environment each time, so tests that
+// setenv/unsetenv always see current values) and take the already-parsed
+// field. Malformed values warn on stderr in one unified format and leave
+// the knob at its "unset" default instead of misbehaving.
+//
+// The knobs:
+//   VROOM_JOBS=<n>          worker-pool size for corpus sweeps (fleet/)
+//   VROOM_BENCH_PAGES=<n>   cap corpus sizes for quick bench passes
+//   VROOM_RESULT_CACHE=<dir> on-disk LoadResult cache (DESIGN.md §8)
+//   VROOM_TRACE=<dir>       write one Chrome-trace JSON file per load
+//   VROOM_OUT_DIR=<dir>     export printed tables as CSV
+//   VROOM_PROGRESS=1        live stderr progress ticker for long sweeps
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+namespace vroom::harness {
+
+struct Env {
+  int jobs = 0;                  // VROOM_JOBS; 0 = unset (hardware default)
+  int bench_pages = 0;           // VROOM_BENCH_PAGES; 0 = uncapped
+  std::string result_cache_dir;  // VROOM_RESULT_CACHE; empty = caching off
+  std::string trace_dir;         // VROOM_TRACE; empty = tracing off
+  std::string out_dir;           // VROOM_OUT_DIR; empty = no CSV export
+  bool progress = false;         // VROOM_PROGRESS; off unless set and != "0"
+
+  // Parses the environment afresh (never cached: scoped setenv in tests and
+  // long-lived tools both see the current values).
+  static Env from_environment();
+
+  bool trace_enabled() const { return !trace_dir.empty(); }
+
+  // Applies the VROOM_BENCH_PAGES cap to a corpus of `n` pages; the cap
+  // never raises a count, only lowers it.
+  int effective_page_count(int n) const {
+    return bench_pages > 0 ? std::min(n, bench_pages) : n;
+  }
+};
+
+}  // namespace vroom::harness

@@ -1,14 +1,11 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
-#include <charconv>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <map>
 #include <memory>
 
 #include "core/client_scheduler.h"
+#include "harness/env.h"
 #include "harness/export.h"
 #include "harness/stats.h"
 #include "http/connection_pool.h"
@@ -19,19 +16,7 @@
 namespace vroom::harness {
 
 int effective_page_count(int n) {
-  const char* env = std::getenv("VROOM_BENCH_PAGES");
-  if (env == nullptr) return n;
-  int cap = 0;
-  const char* end = env + std::strlen(env);
-  const auto [ptr, ec] = std::from_chars(env, end, cap);
-  if (ec != std::errc() || ptr != end || cap <= 0) {
-    std::fprintf(stderr,
-                 "[harness] warning: ignoring invalid VROOM_BENCH_PAGES=\"%s\" "
-                 "(want a positive integer); using the full corpus (%d)\n",
-                 env, n);
-    return n;
-  }
-  return std::min(n, cap);
+  return Env::from_environment().effective_page_count(n);
 }
 
 browser::LoadResult run_page_load(const web::PageModel& page,
@@ -65,8 +50,8 @@ browser::LoadResult run_page_load(const web::PageModel& page,
   // Tracing: off unless VROOM_TRACE=<dir> is set or the caller supplied a
   // sink. The recorder attaches itself to this load's event loop, so every
   // layer's hooks (null-checked pointer reads) start emitting.
-  std::string trace_dir;
-  const bool trace_to_dir = trace::env_trace_dir(trace_dir);
+  const std::string trace_dir = Env::from_environment().trace_dir;
+  const bool trace_to_dir = !trace_dir.empty();
   std::unique_ptr<trace::Recorder> recorder;
   if (trace_to_dir || options.trace_sink) {
     recorder = std::make_unique<trace::Recorder>(loop);

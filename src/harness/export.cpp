@@ -2,12 +2,13 @@
 
 #include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <system_error>
+
+#include "harness/env.h"
 
 namespace vroom::harness {
 
@@ -72,10 +73,9 @@ bool write_csv(const std::string& path, const std::string& csv) {
 
 void maybe_export(const std::string& title,
                   const std::vector<Series>& series) {
-  const char* dir = std::getenv("VROOM_OUT_DIR");
-  if (dir == nullptr || *dir == '\0') return;
-  write_csv(std::string(dir) + "/" + slugify(title) + ".csv",
-            series_to_csv(series));
+  const std::string dir = Env::from_environment().out_dir;
+  if (dir.empty()) return;
+  write_csv(dir + "/" + slugify(title) + ".csv", series_to_csv(series));
 }
 
 std::string counters_to_csv(
@@ -92,10 +92,9 @@ void maybe_export_counters(
     const std::string& title,
     const std::vector<std::pair<std::string, std::int64_t>>& counters) {
   if (counters.empty()) return;
-  const char* dir = std::getenv("VROOM_OUT_DIR");
-  if (dir == nullptr || *dir == '\0') return;
-  write_csv(std::string(dir) + "/" + slugify(title) + ".csv",
-            counters_to_csv(counters));
+  const std::string dir = Env::from_environment().out_dir;
+  if (dir.empty()) return;
+  write_csv(dir + "/" + slugify(title) + ".csv", counters_to_csv(counters));
 }
 
 std::string timings_to_csv(const browser::LoadResult& result) {

@@ -10,9 +10,9 @@
 #include <sstream>
 #include <system_error>
 
+#include "harness/env.h"
 #include "net/network.h"
 #include "sim/random.h"
-#include "trace/trace.h"
 
 namespace vroom::harness {
 
@@ -74,17 +74,18 @@ std::string result_cache_key(const baselines::Strategy& strategy,
 bool result_cache_usable(const RunOptions& options) {
   if (options.cache != nullptr) return false;  // order-dependent warm cache
   if (options.trace_sink) return false;        // per-load side effects
-  std::string dir;
-  if (trace::env_trace_dir(dir)) return false;  // ditto (JSON per load)
+  if (Env::from_environment().trace_enabled()) {
+    return false;  // ditto (JSON per load)
+  }
   return true;
 }
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
 
 std::unique_ptr<ResultCache> ResultCache::from_env() {
-  const char* dir = std::getenv("VROOM_RESULT_CACHE");
-  if (dir == nullptr || *dir == '\0') return nullptr;
-  return std::make_unique<ResultCache>(dir);
+  std::string dir = Env::from_environment().result_cache_dir;
+  if (dir.empty()) return nullptr;
+  return std::make_unique<ResultCache>(std::move(dir));
 }
 
 std::string ResultCache::path_for(const std::string& key) const {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -223,13 +222,6 @@ bool Recorder::write_json(const std::string& path) const {
                  path.c_str());
     return false;
   }
-  return true;
-}
-
-bool env_trace_dir(std::string& dir) {
-  const char* env = std::getenv("VROOM_TRACE");
-  if (env == nullptr || *env == '\0') return false;
-  dir = env;
   return true;
 }
 

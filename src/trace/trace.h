@@ -143,8 +143,8 @@ inline Recorder* of(sim::EventLoop& loop) {
   return loop.recorder();
 }
 
-// True when the process-level VROOM_TRACE=<dir> switch is set; `dir`
-// receives the directory.
-bool env_trace_dir(std::string& dir);
+// (The process-level VROOM_TRACE=<dir> switch is parsed by harness::Env —
+// the single home of every VROOM_* environment knob; this library stays
+// environment-free.)
 
 }  // namespace vroom::trace

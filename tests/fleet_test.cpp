@@ -2,8 +2,6 @@
 // worker-count resolution must be robust, and telemetry must add up.
 #include "fleet/fleet.h"
 
-#include <cstdlib>
-#include <optional>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -11,35 +9,13 @@
 #include "baselines/strategies.h"
 #include "fleet/job_queue.h"
 #include "harness/experiment.h"
+#include "scoped_env.h"
 #include "web/corpus.h"
 
 namespace vroom {
 namespace {
 
-// Scoped environment override (POSIX setenv/unsetenv), restored on exit so
-// tests don't leak state into each other.
-class ScopedEnv {
- public:
-  ScopedEnv(const char* name, const char* value) : name_(name) {
-    if (const char* old = std::getenv(name)) saved_ = old;
-    if (value != nullptr) {
-      ::setenv(name, value, 1);
-    } else {
-      ::unsetenv(name);
-    }
-  }
-  ~ScopedEnv() {
-    if (saved_.has_value()) {
-      ::setenv(name_, saved_->c_str(), 1);
-    } else {
-      ::unsetenv(name_);
-    }
-  }
-
- private:
-  const char* name_;
-  std::optional<std::string> saved_;
-};
+using testutil::ScopedEnv;
 
 void expect_identical(const browser::LoadResult& a,
                       const browser::LoadResult& b) {
@@ -85,13 +61,13 @@ harness::RunOptions small_options() {
 TEST(JobQueue, GridOrderAndDrain) {
   auto jobs = fleet::JobQueue::grid(2, 3, 2);
   ASSERT_EQ(jobs.size(), 12u);
-  // Strategy-major, then page, then load — the serial visit order.
-  EXPECT_EQ(jobs[0].strategy_index, 0);
+  // Cell-major, then page, then load — the serial visit order.
+  EXPECT_EQ(jobs[0].cell_index, 0);
   EXPECT_EQ(jobs[0].page_index, 0);
   EXPECT_EQ(jobs[0].load_index, 0);
   EXPECT_EQ(jobs[1].load_index, 1);
   EXPECT_EQ(jobs[2].page_index, 1);
-  EXPECT_EQ(jobs.back().strategy_index, 1);
+  EXPECT_EQ(jobs.back().cell_index, 1);
   EXPECT_EQ(jobs.back().page_index, 2);
   EXPECT_EQ(jobs.back().load_index, 1);
 

@@ -17,36 +17,14 @@
 #include "fleet/fleet.h"
 #include "harness/experiment.h"
 #include "harness/export.h"
+#include "scoped_env.h"
 #include "web/corpus.h"
 #include "web/page_generator.h"
 
 namespace vroom {
 namespace {
 
-// Scoped environment override (POSIX setenv/unsetenv), restored on exit so
-// tests don't leak state into each other.
-class ScopedEnv {
- public:
-  ScopedEnv(const char* name, const char* value) : name_(name) {
-    if (const char* old = std::getenv(name)) saved_ = old;
-    if (value != nullptr) {
-      ::setenv(name, value, 1);
-    } else {
-      ::unsetenv(name);
-    }
-  }
-  ~ScopedEnv() {
-    if (saved_.has_value()) {
-      ::setenv(name_, saved_->c_str(), 1);
-    } else {
-      ::unsetenv(name_);
-    }
-  }
-
- private:
-  const char* name_;
-  std::optional<std::string> saved_;
-};
+using testutil::ScopedEnv;
 
 std::string fresh_dir(const std::string& name) {
   const std::string dir = testing::TempDir() + "vroom_result_cache_" + name;

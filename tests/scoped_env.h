@@ -1,0 +1,38 @@
+// Scoped environment override (POSIX setenv/unsetenv), restored on exit so
+// tests don't leak state into each other. Shared by every suite that pokes
+// at the VROOM_* variables; harness::Env::from_environment() re-reads the
+// environment on each call, so overrides take effect immediately.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace vroom::testutil {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+}  // namespace vroom::testutil

@@ -18,8 +18,10 @@
 
 #include "baselines/strategies.h"
 #include "fleet/fleet.h"
+#include "harness/env.h"
 #include "harness/experiment.h"
 #include "harness/export.h"
+#include "scoped_env.h"
 #include "sim/random.h"
 #include "trace/waterfall.h"
 #include "web/corpus.h"
@@ -28,30 +30,7 @@
 namespace vroom {
 namespace {
 
-// Scoped environment override (POSIX setenv/unsetenv), restored on exit so
-// tests don't leak state into each other.
-class ScopedEnv {
- public:
-  ScopedEnv(const char* name, const char* value) : name_(name) {
-    if (const char* old = std::getenv(name)) saved_ = old;
-    if (value != nullptr) {
-      ::setenv(name, value, 1);
-    } else {
-      ::unsetenv(name);
-    }
-  }
-  ~ScopedEnv() {
-    if (saved_.has_value()) {
-      ::setenv(name_, saved_->c_str(), 1);
-    } else {
-      ::unsetenv(name_);
-    }
-  }
-
- private:
-  const char* name_;
-  std::optional<std::string> saved_;
-};
+using testutil::ScopedEnv;
 
 // Minimal recursive-descent JSON parser: accepts exactly the RFC 8259
 // grammar (objects, arrays, strings with escapes, numbers, literals) and
@@ -397,19 +376,20 @@ TEST(Trace, WriteJsonCreatesDirectoriesAndReportsFailure) {
 }
 
 TEST(Trace, EnvTraceDirHonorsSwitch) {
-  std::string dir;
   {
     ScopedEnv env("VROOM_TRACE", nullptr);
-    EXPECT_FALSE(trace::env_trace_dir(dir));
+    EXPECT_FALSE(harness::Env::from_environment().trace_enabled());
   }
   {
     ScopedEnv env("VROOM_TRACE", "");
-    EXPECT_FALSE(trace::env_trace_dir(dir));  // empty means off
+    // empty means off
+    EXPECT_FALSE(harness::Env::from_environment().trace_enabled());
   }
   {
     ScopedEnv env("VROOM_TRACE", "/tmp/traces");
-    EXPECT_TRUE(trace::env_trace_dir(dir));
-    EXPECT_EQ(dir, "/tmp/traces");
+    const harness::Env env_vals = harness::Env::from_environment();
+    EXPECT_TRUE(env_vals.trace_enabled());
+    EXPECT_EQ(env_vals.trace_dir, "/tmp/traces");
   }
 }
 
