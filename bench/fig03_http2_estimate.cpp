@@ -11,8 +11,9 @@ int main() {
 
   harness::print_cdf_table(
       "Page Load Time", "seconds",
-      {bench::plt_series(ns, baselines::http2_baseline(), opt),
-       bench::plt_series(ns, baselines::push_all_static(), opt),
-       bench::plt_series(ns, baselines::http11(), opt)});
+      bench::plt_matrix(ns,
+                        {baselines::http2_baseline(),
+                         baselines::push_all_static(), baselines::http11()},
+                        opt));
   return 0;
 }

@@ -1,7 +1,15 @@
 // Substrate micro-benchmarks (google-benchmark): simulator throughput for
 // the pieces every experiment leans on. These guard against performance
 // regressions that would make the corpus sweeps impractically slow.
+//
+// BM_LoadsPerSecond is the tracked end-to-end baseline:
+// scripts/bench_substrate.sh runs this binary and records the JSON report
+// (loads/sec as items_per_second, simulated events/sec and peak RSS as
+// counters) in BENCH_substrate.json for cross-commit comparison.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
 
 #include "baselines/strategies.h"
 #include "core/accuracy.h"
@@ -13,6 +21,22 @@
 namespace {
 
 using namespace vroom;
+
+// Peak resident set size (VmHWM) in bytes, 0 if /proc is unavailable.
+double peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double kb = 0.0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtod(line + 6, nullptr);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024.0;
+}
 
 void BM_EventLoopScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
@@ -65,10 +89,15 @@ BENCHMARK(BM_PageInstanceRealization);
 
 void BM_StableSetResolution(benchmark::State& state) {
   const web::PageModel page = web::generate_page(42, 7, web::PageClass::News);
-  core::OfflineResolver resolver(page, {});
+  // Fresh resolver and crawl time per iteration: the resolver memoizes
+  // crawl intersections, so a fixed (resolver, now) pair would measure one
+  // map lookup instead of the resolution itself.
+  sim::Time now = sim::days(45);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(resolver.stable_set(
-        sim::days(45), web::nexus6(), page.first_party(), 1));
+    core::OfflineResolver resolver(page, {});
+    now += sim::hours(1);
+    benchmark::DoNotOptimize(
+        &resolver.stable_set(now, web::nexus6(), page.first_party(), 1));
   }
 }
 BENCHMARK(BM_StableSetResolution);
@@ -83,6 +112,37 @@ void BM_FullPageLoad(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullPageLoad)->Arg(0)->Arg(1);
+
+// The tracked end-to-end throughput baseline: full simulated page loads per
+// wall-clock second, one representative page per corpus class, under the
+// status-quo browser and under Vroom, on the LTE profile. Each iteration is
+// one complete load (fresh world; nonces cycle through a small window so
+// per-load churn varies and one atypical realization can't skew the rate).
+void BM_LoadsPerSecond(benchmark::State& state) {
+  const auto cls = static_cast<web::PageClass>(state.range(0));
+  const web::PageModel page = web::generate_page(42, 7, cls);
+  const baselines::Strategy strategy =
+      state.range(1) == 0 ? baselines::http2_baseline() : baselines::vroom();
+  const harness::RunOptions opt;
+  std::int64_t events = 0;
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    const auto r = harness::run_page_load(page, strategy, opt, ++nonce & 63);
+    events += r.sim_events;
+    benchmark::DoNotOptimize(&r);
+  }
+  state.SetItemsProcessed(state.iterations());  // items/sec == loads/sec
+  state.counters["sim_events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["peak_rss_bytes"] = peak_rss_bytes();
+}
+BENCHMARK(BM_LoadsPerSecond)
+    ->ArgNames({"class", "vroom"})
+    ->ArgsProduct({{static_cast<int>(web::PageClass::Top100),
+                    static_cast<int>(web::PageClass::News),
+                    static_cast<int>(web::PageClass::Sports),
+                    static_cast<int>(web::PageClass::Mixed400)},
+                   {0, 1}});
 
 void BM_AccuracyMeasurement(benchmark::State& state) {
   const web::PageModel page = web::generate_page(42, 7, web::PageClass::News);

@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "baselines/strategies.h"
+#include "fleet/fleet.h"
 #include "harness/experiment.h"
 #include "harness/stats.h"
 #include "web/corpus.h"
@@ -24,18 +25,24 @@ int main(int argc, char** argv) {
 
   std::printf("Comparing deployment levels across %d News/Sports pages…\n\n",
               pages);
-  const baselines::Strategy levels[] = {
+  const std::vector<baselines::Strategy> levels = {
       baselines::http2_baseline(),
       baselines::vroom_first_party_only(),
       baselines::vroom(),
   };
+  // All three deployment levels fan through one shared worker pool instead
+  // of one pool (and one straggler tail) per level.
+  fleet::Telemetry telemetry;
+  fleet::FleetOptions fo;
+  fo.telemetry = &telemetry;
+  const auto results = fleet::run_matrix(corpus, levels, opt, fo);
+  telemetry.print(stderr);
   std::printf("%-28s %10s %10s %10s\n", "deployment", "p25(s)", "median(s)",
               "p75(s)");
-  for (const auto& s : levels) {
-    auto res = harness::run_corpus(corpus, s, opt);
-    const auto q = harness::quartiles(res.plt_seconds());
-    std::printf("%-28s %10.2f %10.2f %10.2f\n", s.name.c_str(), q.p25, q.p50,
-                q.p75);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const auto q = harness::quartiles(results[i].plt_seconds());
+    std::printf("%-28s %10.2f %10.2f %10.2f\n", levels[i].name.c_str(), q.p25,
+                q.p50, q.p75);
   }
   std::printf(
       "\nTakeaway: the first party alone captures most of Vroom's benefit —\n"

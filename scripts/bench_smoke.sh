@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# ctest smoke wrapper for the throughput baseline: runs the loads/sec
+# benchmark with tiny iteration counts and asserts the JSON report is
+# well-formed and carries the tracked series. Deliberately NO performance
+# threshold — CI wall-clock is noise; tracked numbers come from dedicated
+# scripts/bench_substrate.sh runs.
+set -euo pipefail
+
+build_dir="${1:?usage: bench_smoke.sh <build_dir>}"
+out="$build_dir/BENCH_substrate_smoke.json"
+
+VROOM_BENCH_FILTER='BM_LoadsPerSecond' VROOM_BENCH_MIN_TIME=0.01 \
+  "$(cd "$(dirname "$0")" && pwd)/bench_substrate.sh" "$build_dir" "$out" \
+  > /dev/null
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "python3 unavailable; skipping JSON validation" >&2
+  exit 0
+fi
+
+python3 - "$out" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)  # raises on malformed JSON
+runs = [b for b in doc["benchmarks"]
+        if b["name"].startswith("BM_LoadsPerSecond")]
+assert runs, "no BM_LoadsPerSecond rows in report"
+for b in runs:
+    assert b["items_per_second"] > 0, b["name"]
+    assert b["sim_events_per_sec"] > 0, b["name"]
+    assert "peak_rss_bytes" in b, b["name"]
+print(f"bench smoke ok: {len(runs)} loads/sec series")
+EOF

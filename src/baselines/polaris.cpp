@@ -2,15 +2,13 @@
 
 #include <algorithm>
 
-#include "web/url.h"
-
 namespace vroom::baselines {
 
-int PolarisScheduler::priority_of(browser::Browser& b, const std::string& url,
+int PolarisScheduler::priority_of(browser::Browser& b, web::UrlId url,
                                   bool processable) const {
   const web::PageModel& model = b.instance().model();
   int prio = processable ? 50 : 0;
-  if (auto id = b.instance().find_by_url(url)) {
+  if (auto id = b.instance().template_of(url)) {
     // Longer remaining dependency chains first — Polaris's key heuristic.
     prio += model.chain_depth(*id) * 100;
     if (*id == 0) prio += 10000;  // the navigation itself
@@ -19,8 +17,7 @@ int PolarisScheduler::priority_of(browser::Browser& b, const std::string& url,
   return prio;
 }
 
-void PolarisScheduler::on_discovered(browser::Browser& b,
-                                     const std::string& url,
+void PolarisScheduler::on_discovered(browser::Browser& b, web::UrlId url,
                                      bool processable) {
   if (issued_.count(url) > 0 || b.url_complete(url) || b.url_outstanding(url)) {
     return;
@@ -32,15 +29,14 @@ void PolarisScheduler::on_discovered(browser::Browser& b,
   pump(b);
 }
 
-void PolarisScheduler::on_fetch_complete(browser::Browser& b,
-                                         const std::string& url) {
+void PolarisScheduler::on_fetch_complete(browser::Browser& b, web::UrlId url) {
   if (issued_.erase(url) > 0) --outstanding_;
   pump(b);
 }
 
 void PolarisScheduler::pump(browser::Browser& b) {
   while (outstanding_ < max_concurrent_ && !queue_.empty()) {
-    Pending p = std::move(queue_.front());
+    Pending p = queue_.front();
     queue_.pop_front();
     if (b.url_complete(p.url) || b.url_outstanding(p.url)) continue;
     issued_.insert(p.url);

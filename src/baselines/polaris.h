@@ -10,7 +10,6 @@
 #pragma once
 
 #include <deque>
-#include <string>
 #include <unordered_set>
 
 #include "browser/browser.h"
@@ -22,24 +21,24 @@ class PolarisScheduler : public browser::FetchPolicy {
   explicit PolarisScheduler(int max_concurrent = 10)
       : max_concurrent_(max_concurrent) {}
 
-  void on_discovered(browser::Browser& b, const std::string& url,
+  void on_discovered(browser::Browser& b, web::UrlId url,
                      bool processable) override;
-  void on_fetch_complete(browser::Browser& b, const std::string& url) override;
+  void on_fetch_complete(browser::Browser& b, web::UrlId url) override;
 
  private:
   struct Pending {
-    std::string url;
+    web::UrlId url;
     int priority;
   };
 
-  int priority_of(browser::Browser& b, const std::string& url,
+  int priority_of(browser::Browser& b, web::UrlId url,
                   bool processable) const;
   void pump(browser::Browser& b);
 
   int max_concurrent_;
   int outstanding_ = 0;
   std::deque<Pending> queue_;
-  std::unordered_set<std::string> issued_;
+  std::unordered_set<web::UrlId> issued_;
 };
 
 }  // namespace vroom::baselines

@@ -2,12 +2,9 @@
 
 #include <algorithm>
 
-#include "web/url.h"
-
 namespace vroom::baselines {
 
-void VroomPolarisScheduler::on_discovered(browser::Browser& b,
-                                          const std::string& url,
+void VroomPolarisScheduler::on_discovered(browser::Browser& b, web::UrlId url,
                                           bool processable) {
   // Resources already covered by hints (or pushes) are in flight; the
   // chain-priority queue is only for what the client discovers itself.
@@ -20,7 +17,7 @@ void VroomPolarisScheduler::on_discovered(browser::Browser& b,
   // Documents and render-blocking resources bypass the queue: the engine
   // cannot make progress without them.
   int prio = processable ? 50 : 0;
-  if (auto id = b.instance().find_by_url(url)) {
+  if (auto id = b.instance().template_of(url)) {
     prio += b.instance().model().chain_depth(*id) * 100;
     if (b.instance().model().resource(*id).type == web::ResourceType::Html ||
         b.instance().model().resource(*id).blocks_parser) {
@@ -35,7 +32,7 @@ void VroomPolarisScheduler::on_discovered(browser::Browser& b,
 }
 
 void VroomPolarisScheduler::on_fetch_complete(browser::Browser& b,
-                                              const std::string& url) {
+                                              web::UrlId url) {
   if (issued_.erase(url) > 0) --outstanding_;
   core::VroomClientScheduler::on_fetch_complete(b, url);
   pump(b);
@@ -43,7 +40,7 @@ void VroomPolarisScheduler::on_fetch_complete(browser::Browser& b,
 
 void VroomPolarisScheduler::pump(browser::Browser& b) {
   while (outstanding_ < max_concurrent_ && !queue_.empty()) {
-    Pending p = std::move(queue_.front());
+    Pending p = queue_.front();
     queue_.pop_front();
     if (b.url_complete(p.url) || b.url_outstanding(p.url)) continue;
     issued_.insert(p.url);

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <deque>
-#include <string>
 #include <unordered_set>
 
 #include "core/client_scheduler.h"
@@ -22,13 +21,13 @@ class VroomPolarisScheduler final : public core::VroomClientScheduler {
   explicit VroomPolarisScheduler(int max_concurrent_discoveries = 8)
       : max_concurrent_(max_concurrent_discoveries) {}
 
-  void on_discovered(browser::Browser& b, const std::string& url,
+  void on_discovered(browser::Browser& b, web::UrlId url,
                      bool processable) override;
-  void on_fetch_complete(browser::Browser& b, const std::string& url) override;
+  void on_fetch_complete(browser::Browser& b, web::UrlId url) override;
 
  private:
   struct Pending {
-    std::string url;
+    web::UrlId url;
     int priority;
     bool processable;
   };
@@ -38,7 +37,7 @@ class VroomPolarisScheduler final : public core::VroomClientScheduler {
   int max_concurrent_;
   int outstanding_ = 0;
   std::deque<Pending> queue_;
-  std::unordered_set<std::string> issued_;
+  std::unordered_set<web::UrlId> issued_;
 };
 
 }  // namespace vroom::baselines

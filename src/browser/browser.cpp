@@ -23,25 +23,12 @@ const char* reason_name(FetchReason r) {
   return "?";
 }
 
-// Browser-native request priorities (Chrome's scheme, roughly): documents
-// highest, render-blocking CSS/JS next, async scripts, then images/media.
-int native_priority(const std::string& url) {
-  auto parsed = web::parse_url(url);
-  if (!parsed) return 0;
-  switch (web::type_from_ext(parsed->ext)) {
-    case web::ResourceType::Html: return 3;
-    case web::ResourceType::Css:
-    case web::ResourceType::Js: return 2;
-    case web::ResourceType::Font: return 1;
-    default: return 0;
-  }
-}
 }  // namespace
 
-void FetchPolicy::on_discovered(Browser& b, const std::string& url,
+void FetchPolicy::on_discovered(Browser& b, web::UrlId url,
                                 bool /*processable*/) {
   // Status quo: request every resource the moment the engine needs it.
-  b.fetch_url(url, native_priority(url), FetchReason::Parser);
+  b.fetch_url(url, b.native_priority(url), FetchReason::Parser);
 }
 
 namespace {
@@ -63,6 +50,9 @@ Browser::Browser(net::Network& net, http::ConnectionPool& pool,
     policy_ = config_.policy;
   }
   tasks_.set_state_observer([this](bool busy) { net_wait_.set_cpu_busy(busy); });
+  // Every instance resource is pre-interned with id == resource index, so
+  // most loads never grow this again (foreign hint URLs are the exception).
+  fetches_.resize(instance.interner().url_count());
 }
 
 bool Browser::url_processable(const std::string& url) {
@@ -71,31 +61,34 @@ bool Browser::url_processable(const std::string& url) {
   return web::is_processable(web::type_from_ext(parsed->ext));
 }
 
-Browser::FetchState& Browser::state_for(const std::string& url) {
-  auto it = fetches_.find(url);
-  if (it != fetches_.end()) return it->second;
-  FetchState fs;
-  fs.template_id = instance_->find_by_url(url);
-  return fetches_.emplace(url, std::move(fs)).first->second;
+Browser::FetchState& Browser::state_for(web::UrlId id) {
+  if (id >= fetches_.size()) fetches_.resize(id + 1);
+  FetchState& fs = fetches_[id];
+  if (!fs.touched) {
+    fs.touched = true;
+    fs.template_id = instance_->template_of(id);
+    touch_order_.emplace(instance_->interner().url(id), id);
+  }
+  return fs;
 }
 
-const Browser::FetchState* Browser::find_state(const std::string& url) const {
-  auto it = fetches_.find(url);
-  return it == fetches_.end() ? nullptr : &it->second;
+const Browser::FetchState* Browser::find_state(web::UrlId id) const {
+  if (id >= fetches_.size() || !fetches_[id].touched) return nullptr;
+  return &fetches_[id];
 }
 
-bool Browser::url_complete(const std::string& url) const {
-  const FetchState* fs = find_state(url);
+bool Browser::url_complete(web::UrlId id) const {
+  const FetchState* fs = find_state(id);
   return fs && fs->state == FetchStateKind::Complete;
 }
 
-bool Browser::url_outstanding(const std::string& url) const {
-  const FetchState* fs = find_state(url);
+bool Browser::url_outstanding(web::UrlId id) const {
+  const FetchState* fs = find_state(id);
   return fs && fs->state == FetchStateKind::InFlight;
 }
 
-void Browser::note_hinted(const std::string& url) {
-  FetchState& fs = state_for(url);
+void Browser::note_hinted(web::UrlId id) {
+  FetchState& fs = state_for(id);
   fs.hinted = true;
   fs.discovered = std::min(fs.discovered, net_.loop().now());
 }
@@ -110,12 +103,12 @@ void Browser::start() {
     // nothing.
     for (const auto& ir : instance_->resources()) {
       if (instance_->model().in_post_onload_subtree(ir.template_id)) continue;
-      FetchState& fs = state_for(ir.url);
+      FetchState& fs = state_for(ir.url_id);
       fs.referenced = true;
       fs.discovered = 0;
       ++referenced_incomplete_;
-      const bool processable = url_processable(ir.url);
-      fetch_url(ir.url, processable ? 1 : 0, FetchReason::Document);
+      const bool processable = this->processable(ir.url_id);
+      fetch_url(ir.url_id, processable ? 1 : 0, FetchReason::Document);
     }
     return;
   }
@@ -129,7 +122,7 @@ void Browser::reference(std::uint32_t template_id, const char* how) {
     return;
   }
   const web::InstanceResource& ir = instance_->resource(template_id);
-  FetchState& fs = state_for(ir.url);
+  FetchState& fs = state_for(ir.url_id);
   if (fs.referenced) return;
   fs.referenced = true;
   fs.discovered = std::min(fs.discovered, net_.loop().now());
@@ -147,15 +140,17 @@ void Browser::reference(std::uint32_t template_id, const char* how) {
   if (r.type == web::ResourceType::Css && !r.in_iframe && !r.async) {
     ++css_blocking_;  // released in after_processed()
   }
-  policy_->on_discovered(*this, ir.url, web::is_processable(r.type));
-  if (fs.state == FetchStateKind::Complete) maybe_process(ir.url);
+  policy_->on_discovered(*this, ir.url_id, web::is_processable(r.type));
+  if (url_complete(ir.url_id)) maybe_process(ir.url_id);
 }
 
-void Browser::fetch_url(const std::string& url, int priority,
-                        FetchReason reason) {
-  FetchState& fs = state_for(url);
+void Browser::fetch_url(web::UrlId id, int priority, FetchReason reason) {
+  FetchState& fs = state_for(id);
   if (fs.state != FetchStateKind::Idle) return;  // dedup
   if (reason == FetchReason::Hint) fs.hinted = true;
+
+  const web::UrlInfo& info = instance_->interner().info(id);
+  const std::string& url = url_of(id);
 
   const sim::Time now_abs = abs_now();
   if (config_.cache != nullptr && config_.cache->fresh(url, now_abs)) {
@@ -169,8 +164,8 @@ void Browser::fetch_url(const std::string& url, int priority,
       tr->counters().add("cache.hits");
     }
     // Memory/disk cache lookup latency.
-    net_.loop().schedule_in(sim::us(500), [this, url] {
-      finish_fetch(url, 0, /*from_cache=*/true, /*not_modified=*/false);
+    net_.loop().schedule_in(sim::us(500), [this, id] {
+      finish_fetch(id, 0, /*from_cache=*/true, /*not_modified=*/false);
     });
     return;
   }
@@ -194,13 +189,12 @@ void Browser::fetch_url(const std::string& url, int priority,
 
   http::Request req;
   req.url = url;
+  req.url_id = id;
   req.priority = priority;
   req.device = instance_->identity().device;
   req.user = instance_->identity().user;
   req.conditional = config_.cache != nullptr && config_.cache->has(url);
-  auto parsed = web::parse_url(url);
-  req.is_document =
-      parsed && web::type_from_ext(parsed->ext) == web::ResourceType::Html;
+  req.is_document = info.parse_ok && info.type == web::ResourceType::Html;
 
   http::ResponseHandlers handlers;
   handlers.on_headers = [this](const http::ResponseMeta& meta) {
@@ -209,12 +203,13 @@ void Browser::fetch_url(const std::string& url, int priority,
   handlers.on_complete = [this](const http::ResponseMeta& meta) {
     handle_complete(meta);
   };
-  pool_.endpoint(web::url_domain(url)).fetch(req, std::move(handlers));
+  pool_.endpoint(info.domain, instance_->interner().domain(info.domain))
+      .fetch(req, std::move(handlers));
 }
 
 void Browser::handle_headers(const http::ResponseMeta& meta) {
   if (result_.ttfb == sim::kNever && instance_->size() > 0 &&
-      meta.url == instance_->resource(0).url) {
+      meta.url_id == instance_->resource(0).url_id) {
     result_.ttfb = net_.loop().now();
     if (trace::Recorder* tr = trace::of(net_.loop())) {
       tr->instant(trace::Layer::Browser, "browser", "main-thread", "ttfb");
@@ -234,13 +229,13 @@ void Browser::handle_headers(const http::ResponseMeta& meta) {
 }
 
 void Browser::handle_complete(const http::ResponseMeta& meta) {
-  finish_fetch(meta.url, meta.body_bytes, /*from_cache=*/false,
+  finish_fetch(meta.url_id, meta.body_bytes, /*from_cache=*/false,
                meta.not_modified);
 }
 
-void Browser::finish_fetch(const std::string& url, std::int64_t bytes,
-                           bool from_cache, bool not_modified) {
-  FetchState& fs = state_for(url);
+void Browser::finish_fetch(web::UrlId id, std::int64_t bytes, bool from_cache,
+                           bool not_modified) {
+  FetchState& fs = state_for(id);
   assert(fs.state == FetchStateKind::InFlight);
   fs.state = FetchStateKind::Complete;
   fs.complete_t = net_.loop().now();
@@ -254,7 +249,7 @@ void Browser::finish_fetch(const std::string& url, std::int64_t bytes,
   if (trace::Recorder* tr = trace::of(net_.loop())) {
     tr->complete(trace::Layer::Browser, "browser", "loader", "fetch",
                  fs.requested,
-                 {trace::arg("url", url), trace::arg("bytes", fs.bytes),
+                 {trace::arg("url", url_of(id)), trace::arg("bytes", fs.bytes),
                   trace::arg("via", from_cache  ? "cache"
                                     : fs.pushed ? "push"
                                                 : "network")});
@@ -262,14 +257,13 @@ void Browser::finish_fetch(const std::string& url, std::int64_t bytes,
 
   // Store in cache using the model's cacheability metadata.
   if (config_.cache != nullptr) {
-    auto parsed = web::parse_url(url);
-    if (parsed && parsed->resource_id < instance_->model().size()) {
-      const web::Resource& r =
-          instance_->model().resource(parsed->resource_id);
+    const web::UrlInfo& info = instance_->interner().info(id);
+    if (info.parse_ok && info.resource_id < instance_->model().size()) {
+      const web::Resource& r = instance_->model().resource(info.resource_id);
       if (r.cacheable) {
         const std::int64_t size =
             fs.template_id ? instance_->resource(*fs.template_id).size : bytes;
-        config_.cache->insert(url, size, abs_now(), r.max_age);
+        config_.cache->insert(url_of(id), size, abs_now(), r.max_age);
       }
     }
   }
@@ -279,7 +273,8 @@ void Browser::finish_fetch(const std::string& url, std::int64_t bytes,
     result_.wasted_bytes += fs.bytes;
     if (trace::Recorder* tr = trace::of(net_.loop())) {
       tr->instant(trace::Layer::Browser, "browser", "loader", "ghost_fetch",
-                  {trace::arg("url", url), trace::arg("bytes", fs.bytes)});
+                  {trace::arg("url", url_of(id)),
+                   trace::arg("bytes", fs.bytes)});
       tr->counters().add("browser.ghost_fetches");
       tr->counters().add("browser.ghost_bytes", fs.bytes);
     }
@@ -302,29 +297,29 @@ void Browser::finish_fetch(const std::string& url, std::int64_t bytes,
         discover_children_via(*fs.template_id, web::DiscoveryVia::HtmlTag);
       }
     }
-    maybe_process(url);
+    maybe_process(id);
   }
 
-  auto waiters = std::move(fs.on_complete_waiters);
-  fs.on_complete_waiters.clear();
+  auto waiters = std::move(fetches_[id].on_complete_waiters);
+  fetches_[id].on_complete_waiters.clear();
   for (auto& w : waiters) w();
 
   if (!result_.finished) {
     tasks_.post(config_.cpu.task_overhead, TaskPriority::Scheduler,
-                [this, url] { policy_->on_fetch_complete(*this, url); });
+                [this, id] { policy_->on_fetch_complete(*this, id); });
   }
   maybe_finish();
 }
 
-void Browser::maybe_process(const std::string& url) {
-  FetchState& fs = state_for(url);
+void Browser::maybe_process(web::UrlId id) {
+  FetchState& fs = state_for(id);
   if (fs.state != FetchStateKind::Complete || !fs.referenced ||
       fs.processing_scheduled || fs.processed) {
     return;
   }
   assert(fs.template_id.has_value());
-  const std::uint32_t id = *fs.template_id;
-  const web::Resource& r = instance_->model().resource(id);
+  const std::uint32_t tid = *fs.template_id;
+  const web::Resource& r = instance_->model().resource(tid);
 
   if (r.type == web::ResourceType::Js && r.blocks_parser) {
     return;  // execution is driven by the parser, in document order
@@ -332,14 +327,14 @@ void Browser::maybe_process(const std::string& url) {
   fs.processing_scheduled = true;
 
   if (r.type == web::ResourceType::Html) {
-    if (id == 0 || root_done_) {
-      start_document(id);
+    if (tid == 0 || root_done_) {
+      start_document(tid);
     }
     // Iframe documents wait for the root document to finish parsing
     // (footnote 4 of the paper); on_doc_done(0) starts them.
     return;
   }
-  schedule_processing(url, id);
+  schedule_processing(id, tid);
 }
 
 bool Browser::blocked_on_css(std::function<void()> resume) {
@@ -354,12 +349,11 @@ bool Browser::blocked_on_css(std::function<void()> resume) {
   return true;
 }
 
-void Browser::schedule_processing(const std::string& url,
-                                  std::uint32_t template_id) {
+void Browser::schedule_processing(web::UrlId id, std::uint32_t template_id) {
   const web::Resource& r = instance_->model().resource(template_id);
   if (r.type == web::ResourceType::Js && !r.in_iframe &&
-      blocked_on_css([this, url, template_id] {
-        schedule_processing(url, template_id);
+      blocked_on_css([this, id, template_id] {
+        schedule_processing(id, template_id);
       })) {
     return;  // CSSOM not ready; execution resumes when stylesheets land
   }
@@ -373,12 +367,11 @@ void Browser::schedule_processing(const std::string& url,
   const sim::Time cost =
       config_.cpu.process_cost(r.type, size) + config_.cpu.task_overhead;
   tasks_.post(cost, prio,
-              [this, url, template_id] { after_processed(url, template_id); });
+              [this, id, template_id] { after_processed(id, template_id); });
 }
 
-void Browser::after_processed(const std::string& url,
-                              std::uint32_t template_id) {
-  FetchState& fs = state_for(url);
+void Browser::after_processed(web::UrlId id, std::uint32_t template_id) {
+  FetchState& fs = state_for(id);
   assert(!fs.processed);
   fs.processed = true;
   fs.processed_t = net_.loop().now();
@@ -452,7 +445,7 @@ void Browser::advance_parser(std::uint32_t doc_id) {
         const web::Resource& cr = instance_->model().resource(child);
         reference(child);
         if (cr.type == web::ResourceType::Js && cr.blocks_parser) {
-          const std::string& curl = instance_->resource(child).url;
+          const web::UrlId curl = instance_->resource(child).url_id;
           FetchState& cfs = state_for(curl);
           if (cfs.state == FetchStateKind::Complete) {
             exec_sync_script(doc_id, child);
@@ -462,7 +455,8 @@ void Browser::advance_parser(std::uint32_t doc_id) {
             if (trace::Recorder* tr = trace::of(net_.loop())) {
               const sim::Time blocked_at = net_.loop().now();
               tr->instant(trace::Layer::Browser, "browser", "main-thread",
-                          "parser_block.script", {trace::arg("url", curl)});
+                          "parser_block.script",
+                          {trace::arg("url", url_of(curl))});
               tr->counters().add("browser.parser_blocks");
               cfs.on_complete_waiters.push_back([this, blocked_at] {
                 if (trace::Recorder* t2 = trace::of(net_.loop())) {
@@ -486,7 +480,7 @@ void Browser::exec_sync_script(std::uint32_t doc_id, std::uint32_t script_id) {
           [this, doc_id, script_id] { exec_sync_script(doc_id, script_id); })) {
     return;  // script waits for CSSOM; the parser stays blocked behind it
   }
-  const std::string& url = instance_->resource(script_id).url;
+  const web::UrlId url = instance_->resource(script_id).url_id;
   FetchState& fs = state_for(url);
   fs.processing_scheduled = true;
   const sim::Time cost =
@@ -502,7 +496,7 @@ void Browser::exec_sync_script(std::uint32_t doc_id, std::uint32_t script_id) {
 void Browser::on_doc_done(std::uint32_t doc_id) {
   DocState& d = docs_[doc_id];
   d.done = true;
-  const std::string& url = instance_->resource(doc_id).url;
+  const web::UrlId url = instance_->resource(doc_id).url_id;
   after_processed(url, doc_id);  // paints the document, may fire onload
   if (doc_id == 0) {
     root_done_ = true;
@@ -511,12 +505,15 @@ void Browser::on_doc_done(std::uint32_t doc_id) {
       tr->instant(trace::Layer::Browser, "browser", "main-thread",
                   "dom_content_loaded");
     }
-    // Start any iframe documents that were waiting on the root parse.
-    for (const auto& [u, fs] : fetches_) {
+    // Start any iframe documents that were waiting on the root parse, in
+    // the fetch table's frozen enumeration order (see touch_order_).
+    for (const auto& [u, id] : touch_order_) {
+      const FetchState& fs = fetches_[id];
       if (!fs.template_id || !fs.referenced) continue;
       const web::Resource& r = instance_->model().resource(*fs.template_id);
       if (r.type == web::ResourceType::Html && *fs.template_id != 0 &&
-          fs.state == FetchStateKind::Complete && !docs_.count(*fs.template_id)) {
+          fs.state == FetchStateKind::Complete &&
+          !docs_.count(*fs.template_id)) {
         start_document(*fs.template_id);
       }
     }
@@ -537,7 +534,7 @@ void Browser::discover_children_via(std::uint32_t parent,
 }
 
 void Browser::on_push_promise(const std::string& url, std::int64_t /*bytes*/) {
-  FetchState& fs = state_for(url);
+  FetchState& fs = state_for(intern(url));
   if (fs.state != FetchStateKind::Idle) {
     if (trace::Recorder* tr = trace::of(net_.loop())) {
       // The client got there first; the promise is redundant.
@@ -559,11 +556,12 @@ void Browser::on_push_promise(const std::string& url, std::int64_t /*bytes*/) {
 }
 
 void Browser::on_push_complete(const std::string& url, std::int64_t bytes) {
-  FetchState& fs = state_for(url);
+  const web::UrlId id = intern(url);
+  FetchState& fs = state_for(id);
   if (!fs.pushed || fs.state != FetchStateKind::InFlight) {
     return;  // client independently requested it; that fetch wins
   }
-  finish_fetch(url, bytes, /*from_cache=*/false, /*not_modified=*/false);
+  finish_fetch(id, bytes, /*from_cache=*/false, /*not_modified=*/false);
 }
 
 void Browser::record_paint(double weight) {
@@ -597,11 +595,13 @@ void Browser::finalize_result() {
   if (trace::Recorder* tr = trace::of(net_.loop())) {
     tr->instant(trace::Layer::Browser, "browser", "main-thread", "onload",
                 {trace::arg("plt_ms", sim::to_ms(result_.plt))});
-    for (const auto& [url, fs] : fetches_) {
+    for (const auto& [u, id] : touch_order_) {
+      const FetchState& fs = fetches_[id];
       if (fs.pushed && !fs.referenced) {
         tr->instant(trace::Layer::Browser, "browser", "loader",
                     "push.wasted",
-                    {trace::arg("url", url), trace::arg("bytes", fs.bytes)});
+                    {trace::arg("url", url_of(id)),
+                     trace::arg("bytes", fs.bytes)});
         tr->counters().add("browser.pushes_wasted");
         tr->counters().add("browser.push_bytes_wasted", fs.bytes);
       }
@@ -609,12 +609,13 @@ void Browser::finalize_result() {
   }
 
   sim::Time all_disc = 0, all_fetch = 0, hp_disc = 0, hp_fetch = 0;
-  for (const auto& [url, fs] : fetches_) {
+  for (const auto& [u, id] : touch_order_) {
+    const FetchState& fs = fetches_[id];
     ResourceTiming t;
-    t.url = url;
+    t.url = url_of(id);
     t.template_id = fs.template_id;
     t.referenced = fs.referenced;
-    t.processable = url_processable(url);
+    t.processable = instance_->interner().info(id).processable;
     if (fs.template_id) {
       t.in_iframe = instance_->model().resource(*fs.template_id).in_iframe;
     }

@@ -8,6 +8,12 @@
 // when discovered/hinted resources are actually requested — is pluggable,
 // which is where the status quo, Polaris, and Vroom's staged client
 // scheduler differ.
+//
+// Hot-path bookkeeping runs on interned ids (web/intern.h): fetch state is
+// a dense vector indexed by UrlId, endpoints route by DomainId, and the
+// per-URL facts (type, priority, processability) come from the interner's
+// cached UrlInfo instead of re-parsing. URL strings appear only at the
+// edges (trace events, result timings, the cross-load cache).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -37,20 +44,20 @@ enum class FetchReason : std::uint8_t {
   Speculative,  // client-side predicted (Polaris-style)
 };
 
-// Pluggable client-side fetch scheduling.
+// Pluggable client-side fetch scheduling. Policies speak interned UrlIds;
+// `b.url_of(id)` recovers the string when one is needed at an edge.
 class FetchPolicy {
  public:
   virtual ~FetchPolicy() = default;
   virtual void on_load_start(Browser&) {}
-  // The engine needs `url` (parser/exec discovery). The default requests it
-  // immediately — today's browser behaviour.
-  virtual void on_discovered(Browser& b, const std::string& url,
-                             bool processable);
+  // The engine needs the resource (parser/exec discovery). The default
+  // requests it immediately — today's browser behaviour.
+  virtual void on_discovered(Browser& b, web::UrlId url, bool processable);
   // Dependency hints arrived in a response's headers.
   virtual void on_hints(Browser&, const http::HintSet&) {}
   // Any fetch finished (used by staged schedulers to advance stages). Runs
   // as a main-thread task, so a busy CPU delays it (§5.2).
-  virtual void on_fetch_complete(Browser&, const std::string& /*url*/) {}
+  virtual void on_fetch_complete(Browser&, web::UrlId /*url*/) {}
 };
 
 struct LoadConfig {
@@ -79,21 +86,40 @@ class Browser {
   const web::PageInstance& instance() const { return *instance_; }
   TaskQueue& tasks() { return tasks_; }
 
+  // Interns a URL in the page world's interner (hints carry strings).
+  web::UrlId intern(const std::string& url) {
+    return instance_->interner().url_id(url);
+  }
+  const std::string& url_of(web::UrlId id) const {
+    return instance_->interner().url(id);
+  }
+
   // Issues a network fetch; dedups against in-flight, completed, pushed and
   // cached copies. Safe to call with URLs foreign to the current instance
   // (stale hints become "ghost" fetches counted as wasted bytes).
-  void fetch_url(const std::string& url, int priority, FetchReason reason);
+  void fetch_url(web::UrlId id, int priority, FetchReason reason);
+  void fetch_url(const std::string& url, int priority, FetchReason reason) {
+    fetch_url(intern(url), priority, reason);
+  }
 
-  bool url_complete(const std::string& url) const;
-  bool url_outstanding(const std::string& url) const;
+  bool url_complete(web::UrlId id) const;
+  bool url_outstanding(web::UrlId id) const;
 
-  // Records that the client learned `url` from a dependency hint even if it
-  // has not been requested yet (discovery-latency accounting, Figure 16).
-  void note_hinted(const std::string& url);
+  // Records that the client learned the URL from a dependency hint even if
+  // it has not been requested yet (discovery-latency accounting, Figure 16).
+  void note_hinted(web::UrlId id);
   int outstanding_fetches() const { return outstanding_; }
 
   // True if `url` is a processable type (HTML/CSS/JS) per its extension.
   static bool url_processable(const std::string& url);
+  // Interned variant reading the cached UrlInfo.
+  bool processable(web::UrlId id) const {
+    return instance_->interner().info(id).processable;
+  }
+  // Browser-native request priority for an interned URL.
+  int native_priority(web::UrlId id) const {
+    return instance_->interner().info(id).native_priority;
+  }
 
   // Push events (wired from the connection pool's PushObserver).
   void on_push_promise(const std::string& url, std::int64_t bytes);
@@ -104,6 +130,7 @@ class Browser {
 
   struct FetchState {
     FetchStateKind state = FetchStateKind::Idle;
+    bool touched = false;  // slot initialized (dense vector, lazy init)
     std::optional<std::uint32_t> template_id;
     bool referenced = false;
     bool gates_onload = false;
@@ -130,21 +157,21 @@ class Browser {
     bool done = false;
   };
 
-  FetchState& state_for(const std::string& url);
-  const FetchState* find_state(const std::string& url) const;
+  FetchState& state_for(web::UrlId id);
+  const FetchState* find_state(web::UrlId id) const;
 
   void handle_headers(const http::ResponseMeta& meta);
   void handle_complete(const http::ResponseMeta& meta);
-  void finish_fetch(const std::string& url, std::int64_t bytes,
-                    bool from_cache, bool not_modified);
+  void finish_fetch(web::UrlId id, std::int64_t bytes, bool from_cache,
+                    bool not_modified);
 
-  // Marks `url` as needed by the page. `how` records the discovery
+  // Marks the resource as needed by the page. `how` records the discovery
   // provenance for trace events (navigation / parser / preload-scan /
   // js-exec / css-ref).
   void reference(std::uint32_t template_id, const char* how = "parser");
-  void maybe_process(const std::string& url);
-  void schedule_processing(const std::string& url, std::uint32_t template_id);
-  void after_processed(const std::string& url, std::uint32_t template_id);
+  void maybe_process(web::UrlId id);
+  void schedule_processing(web::UrlId id, std::uint32_t template_id);
+  void after_processed(web::UrlId id, std::uint32_t template_id);
 
   // CSSOM dependency: script execution waits until every discovered
   // render-blocking stylesheet of the main document has been fetched and
@@ -175,7 +202,17 @@ class Browser {
   std::unique_ptr<FetchPolicy> default_policy_;
   FetchPolicy* policy_;
 
-  std::unordered_map<std::string, FetchState> fetches_;
+  // Dense, indexed by UrlId. Instance resources occupy ids 0..N-1; foreign
+  // URLs (stale hints) get ids as they intern.
+  std::vector<FetchState> fetches_;
+  // Enumeration order of the fetch table is load-bearing: iframe documents
+  // pending at root-done start in this order, which shifts task timing.
+  // The table used to BE a string-keyed unordered_map, so its enumeration
+  // (libstdc++ hash-bucket order) is frozen into every recorded result.
+  // This shadow map replays the same key/insertion history — one insert per
+  // first-touched URL — so enumeration stays bit-identical. Keys view into
+  // the interner's stable storage.
+  std::unordered_map<std::string_view, web::UrlId> touch_order_;
   std::unordered_map<std::uint32_t, DocState> docs_;
   int docs_pending_ = 0;
   int referenced_incomplete_ = 0;

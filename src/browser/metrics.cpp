@@ -97,7 +97,7 @@ class Reader {
 
 // Bump whenever the field set or their order changes; a mismatch makes
 // deserialize_load_result fail cleanly instead of misreading old bytes.
-constexpr std::uint32_t kLoadResultFormatVersion = 1;
+constexpr std::uint32_t kLoadResultFormatVersion = 2;
 
 }  // namespace
 
@@ -135,6 +135,7 @@ std::string serialize_load_result(const LoadResult& r) {
   put_i64(out, r.wasted_bytes);
   put_u32(out, static_cast<std::uint32_t>(r.requests));
   put_u32(out, static_cast<std::uint32_t>(r.cache_hits));
+  put_i64(out, r.sim_events);
   put_u32(out, static_cast<std::uint32_t>(r.timings.size()));
   for (const ResourceTiming& t : r.timings) {
     put_string(out, t.url);
@@ -179,6 +180,7 @@ bool deserialize_load_result(std::string_view bytes, LoadResult* out) {
   }
   r.requests = static_cast<int>(requests);
   r.cache_hits = static_cast<int>(cache_hits);
+  if (!in.i64(&r.sim_events)) return false;
   std::uint32_t n_timings = 0;
   if (!in.u32(&n_timings)) return false;
   r.timings.reserve(n_timings);

@@ -62,6 +62,10 @@ struct LoadResult {
   std::int64_t wasted_bytes = 0;  // ghost fetches from inaccurate hints
   int requests = 0;
   int cache_hits = 0;
+  // Events the simulation loop executed for this load. Pure observability
+  // (throughput benchmarks report simulated events/sec from it); never feeds
+  // back into simulated numbers.
+  std::int64_t sim_events = 0;
 
   std::vector<ResourceTiming> timings;
 

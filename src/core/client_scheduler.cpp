@@ -1,24 +1,22 @@
 #include "core/client_scheduler.h"
 
 #include "trace/trace.h"
-#include "web/url.h"
 
 namespace vroom::core {
 namespace {
 
-bool is_html_url(const std::string& url) {
-  auto parsed = web::parse_url(url);
-  return parsed && web::type_from_ext(parsed->ext) == web::ResourceType::Html;
+bool is_html_url(browser::Browser& b, web::UrlId url) {
+  const web::UrlInfo& info = b.instance().interner().info(url);
+  return info.parse_ok && info.type == web::ResourceType::Html;
 }
 
 }  // namespace
 
-void VroomClientScheduler::on_discovered(browser::Browser& b,
-                                         const std::string& url,
+void VroomClientScheduler::on_discovered(browser::Browser& b, web::UrlId url,
                                          bool processable) {
   // Engine-discovered resources always go out right away (the browser's
   // native fetch path); hint-scheduled copies dedup against them.
-  if (is_html_url(url) && !b.url_complete(url) &&
+  if (is_html_url(b, url) && !b.url_complete(url) &&
       counted_docs_.insert(url).second) {
     ++pending_docs_;
   }
@@ -29,10 +27,11 @@ void VroomClientScheduler::on_hints(browser::Browser& b,
                                     const http::HintSet& hints) {
   int fresh = 0;
   for (const http::Hint& h : hints.hints) {
-    b.note_hinted(h.url);
-    if (!seen_.insert(h.url).second) continue;
+    const web::UrlId id = b.intern(h.url);
+    b.note_hinted(id);
+    if (!seen_.insert(id).second) continue;
     ++fresh;
-    enqueue_hint(b, h);
+    enqueue_hint(b, id, h.priority);
   }
   if (trace::Recorder* tr = trace::of(b.loop())) {
     tr->instant(trace::Layer::Vroom, "browser", "scheduler", "hints.acted",
@@ -45,43 +44,43 @@ void VroomClientScheduler::on_hints(browser::Browser& b,
   try_advance(b);
 }
 
-void VroomClientScheduler::enqueue_hint(browser::Browser& b,
-                                        const http::Hint& hint) {
+void VroomClientScheduler::enqueue_hint(browser::Browser& b, web::UrlId url,
+                                        http::HintPriority priority) {
   if (!staged_) {
-    b.fetch_url(hint.url, 0, browser::FetchReason::Hint);
+    b.fetch_url(url, 0, browser::FetchReason::Hint);
     return;
   }
-  switch (hint.priority) {
+  switch (priority) {
     case http::HintPriority::Preload:
-      preload_urls_.push_back(hint.url);
-      b.fetch_url(hint.url, 2, browser::FetchReason::Hint);
+      preload_urls_.push_back(url);
+      b.fetch_url(url, 2, browser::FetchReason::Hint);
       break;
     case http::HintPriority::SemiImportant:
       if (stage_ >= 1) {
-        b.fetch_url(hint.url, 1, browser::FetchReason::Hint);
+        b.fetch_url(url, 1, browser::FetchReason::Hint);
       } else {
-        semi_q_.push_back(hint.url);
+        semi_q_.push_back(url);
       }
       break;
     case http::HintPriority::Unimportant:
       if (stage_ >= 2) {
-        b.fetch_url(hint.url, 0, browser::FetchReason::Hint);
+        b.fetch_url(url, 0, browser::FetchReason::Hint);
       } else {
-        low_q_.push_back(hint.url);
+        low_q_.push_back(url);
       }
       break;
   }
 }
 
 void VroomClientScheduler::on_fetch_complete(browser::Browser& b,
-                                             const std::string& url) {
+                                             web::UrlId url) {
   if (counted_docs_.erase(url) > 0) --pending_docs_;
   try_advance(b);
 }
 
 bool VroomClientScheduler::all_complete(
-    browser::Browser& b, const std::vector<std::string>& urls) const {
-  for (const auto& u : urls) {
+    browser::Browser& b, const std::vector<web::UrlId>& urls) const {
+  for (web::UrlId u : urls) {
     if (!b.url_complete(u)) return false;
   }
   return true;
@@ -105,14 +104,14 @@ void VroomClientScheduler::try_advance(browser::Browser& b) {
     // priority resources learned via hints have been received…"
     if (pending_docs_ > 0 || !all_complete(b, preload_urls_)) return;
     advance_to(b, 1, static_cast<std::int64_t>(semi_q_.size()));
-    for (const auto& u : semi_q_) {
+    for (web::UrlId u : semi_q_) {
       b.fetch_url(u, 1, browser::FetchReason::Hint);
     }
   }
   if (stage_ == 1) {
     if (!all_complete(b, semi_q_)) return;
     advance_to(b, 2, static_cast<std::int64_t>(low_q_.size()));
-    for (const auto& u : low_q_) {
+    for (web::UrlId u : low_q_) {
       b.fetch_url(u, 0, browser::FetchReason::Hint);
     }
   }

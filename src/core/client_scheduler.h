@@ -12,7 +12,6 @@
 // URL the moment it is seen.
 #pragma once
 
-#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -24,28 +23,29 @@ class VroomClientScheduler : public browser::FetchPolicy {
  public:
   explicit VroomClientScheduler(bool staged = true) : staged_(staged) {}
 
-  void on_discovered(browser::Browser& b, const std::string& url,
+  void on_discovered(browser::Browser& b, web::UrlId url,
                      bool processable) override;
   void on_hints(browser::Browser& b, const http::HintSet& hints) override;
-  void on_fetch_complete(browser::Browser& b, const std::string& url) override;
+  void on_fetch_complete(browser::Browser& b, web::UrlId url) override;
 
   int stage() const { return stage_; }
 
  private:
-  void enqueue_hint(browser::Browser& b, const http::Hint& hint);
+  void enqueue_hint(browser::Browser& b, web::UrlId url,
+                    http::HintPriority priority);
   void advance_to(browser::Browser& b, int stage, std::int64_t released);
   void try_advance(browser::Browser& b);
   bool all_complete(browser::Browser& b,
-                    const std::vector<std::string>& urls) const;
+                    const std::vector<web::UrlId>& urls) const;
 
   bool staged_;
   int stage_ = 0;  // 0: preload, 1: semi-important, 2: unimportant
   int pending_docs_ = 0;
-  std::unordered_set<std::string> counted_docs_;
-  std::unordered_set<std::string> seen_;
-  std::vector<std::string> preload_urls_;
-  std::vector<std::string> semi_q_;
-  std::vector<std::string> low_q_;
+  std::unordered_set<web::UrlId> counted_docs_;
+  std::unordered_set<web::UrlId> seen_;
+  std::vector<web::UrlId> preload_urls_;
+  std::vector<web::UrlId> semi_q_;
+  std::vector<web::UrlId> low_q_;
 };
 
 }  // namespace vroom::core

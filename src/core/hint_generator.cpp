@@ -51,7 +51,7 @@ AdviceBuild build_advice(
   for (const auto& [id, url] : ordered) {
     const web::Resource& r = instance.model().resource(id);
     const http::HintPriority prio = classify_hint(r);
-    const bool local = web::url_domain(url) == serving_domain;
+    const bool local = web::url_domain_view(url) == serving_domain;
 
     bool do_push = false;
     switch (push) {

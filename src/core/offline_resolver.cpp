@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "sim/random.h"
 
@@ -18,6 +19,13 @@ bool org_knows_user(const web::PageModel& model,
 OfflineResolver::OfflineResolver(const web::PageModel& model,
                                  OfflineConfig config)
     : model_(&model), config_(std::move(config)) {}
+
+std::string OfflineResolver::cookie_view_sig(const std::string& serving_domain,
+                                             std::uint32_t user) const {
+  if (user == 0) return std::string();  // cookieless: domain-independent
+  if (model_->is_first_party_org(serving_domain)) return std::string("\x01fp");
+  return serving_domain;
+}
 
 std::map<std::uint32_t, std::string> OfflineResolver::single_load_urls(
     sim::Time when, const web::DeviceProfile& device,
@@ -37,9 +45,14 @@ std::map<std::uint32_t, std::string> OfflineResolver::single_load_urls(
   return out;
 }
 
-std::map<std::uint32_t, std::string> OfflineResolver::crawl_intersection(
+const std::map<std::uint32_t, std::string>& OfflineResolver::crawl_intersection(
     sim::Time now, const web::DeviceProfile& crawl_dev,
     const std::string& serving_domain, std::uint32_t user) const {
+  const IntersectKey key{now, dev_key(crawl_dev),
+                         cookie_view_sig(serving_domain, user), user};
+  auto cached = intersect_cache_.find(key);
+  if (cached != intersect_cache_.end()) return cached->second;
+
   std::map<std::uint32_t, std::string> stable;
   for (int i = 1; i <= config_.loads; ++i) {
     const sim::Time when = now - static_cast<sim::Time>(i) * config_.spacing;
@@ -60,20 +73,27 @@ std::map<std::uint32_t, std::string> OfflineResolver::crawl_intersection(
       }
     }
   }
-  return stable;
+  return intersect_cache_.emplace(key, std::move(stable)).first->second;
 }
 
 double OfflineResolver::device_iou(sim::Time now, const web::DeviceProfile& a,
                                    const web::DeviceProfile& b) const {
-  const auto sa = crawl_intersection(now, a, model_->first_party(), 0);
-  const auto sb = crawl_intersection(now, b, model_->first_party(), 0);
+  const auto key = std::make_tuple(now, dev_key(a), dev_key(b));
+  auto cached = iou_cache_.find(key);
+  if (cached != iou_cache_.end()) return cached->second;
+
+  const auto& sa = crawl_intersection(now, a, model_->first_party(), 0);
+  const auto& sb = crawl_intersection(now, b, model_->first_party(), 0);
   std::set<std::string> ua, ub;
   for (const auto& [id, url] : sa) ua.insert(url);
   for (const auto& [id, url] : sb) ub.insert(url);
   std::size_t inter = 0;
   for (const auto& u : ua) inter += ub.count(u);
   const std::size_t uni = ua.size() + ub.size() - inter;
-  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+  const double iou =
+      uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+  iou_cache_.emplace(key, iou);
+  return iou;
 }
 
 const web::DeviceProfile& OfflineResolver::crawl_device(
@@ -86,26 +106,31 @@ const web::DeviceProfile& OfflineResolver::crawl_device(
     case DeviceHandling::EquivalenceClasses:
       break;
   }
-  // Greedy clustering: walk known devices in order; a device joins the first
-  // existing class whose representative's stable set is similar enough,
-  // otherwise founds a new class.
-  std::vector<std::size_t> rep_of(config_.known_devices.size());
-  std::vector<std::size_t> reps;
-  for (std::size_t i = 0; i < config_.known_devices.size(); ++i) {
-    bool placed = false;
-    for (std::size_t rep : reps) {
-      if (device_iou(now, config_.known_devices[i],
-                     config_.known_devices[rep]) >= config_.iou_threshold) {
-        rep_of[i] = rep;
-        placed = true;
-        break;
+  auto cached = cluster_cache_.find(now);
+  if (cached == cluster_cache_.end()) {
+    // Greedy clustering: walk known devices in order; a device joins the
+    // first existing class whose representative's stable set is similar
+    // enough, otherwise founds a new class.
+    std::vector<std::size_t> rep_of(config_.known_devices.size());
+    std::vector<std::size_t> reps;
+    for (std::size_t i = 0; i < config_.known_devices.size(); ++i) {
+      bool placed = false;
+      for (std::size_t rep : reps) {
+        if (device_iou(now, config_.known_devices[i],
+                       config_.known_devices[rep]) >= config_.iou_threshold) {
+          rep_of[i] = rep;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        reps.push_back(i);
+        rep_of[i] = i;
       }
     }
-    if (!placed) {
-      reps.push_back(i);
-      rep_of[i] = i;
-    }
+    cached = cluster_cache_.emplace(now, std::move(rep_of)).first;
   }
+  const std::vector<std::size_t>& rep_of = cached->second;
   // Map the client's device to its class representative (by name, falling
   // back to rendering-equivalent axes for unknown handsets).
   for (std::size_t i = 0; i < config_.known_devices.size(); ++i) {
@@ -117,7 +142,7 @@ const web::DeviceProfile& OfflineResolver::crawl_device(
   return config_.known_devices.front();
 }
 
-std::map<std::uint32_t, std::string> OfflineResolver::stable_set(
+const std::map<std::uint32_t, std::string>& OfflineResolver::stable_set(
     sim::Time now, const web::DeviceProfile& client_device,
     const std::string& serving_domain, std::uint32_t user) const {
   const web::DeviceProfile& dev = crawl_device(now, client_device);

@@ -6,11 +6,19 @@
 // The intersection automatically filters per-load ad churn and fast-rotating
 // personalized content. Device-type customization is handled with
 // equivalence classes so the server need not crawl with every handset model.
+//
+// Resolution is pure: the stable set is a function of (crawl time, crawl
+// device, the serving organization's cookie view, user). A resolver
+// memoizes each distinct combination, so the many advise() calls of one
+// page load — per HTML document, per serving domain — recompute nothing.
+// Mutable caches are safe because a resolver lives inside one page world,
+// which is single-threaded (each fleet worker builds a private world).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "sim/time.h"
@@ -46,8 +54,10 @@ class OfflineResolver {
 
   // Stable set as of `now`, from the perspective of `serving_domain` holding
   // `user`'s cookie for its own organization only. Keys are template ids;
-  // values the URL consistently observed across the recent crawls.
-  std::map<std::uint32_t, std::string> stable_set(
+  // values the URL consistently observed across the recent crawls. The
+  // returned reference points into the resolver's cache and stays valid for
+  // the resolver's lifetime.
+  const std::map<std::uint32_t, std::string>& stable_set(
       sim::Time now, const web::DeviceProfile& client_device,
       const std::string& serving_domain, std::uint32_t user) const;
 
@@ -69,12 +79,32 @@ class OfflineResolver {
   const OfflineConfig& config() const { return config_; }
 
  private:
-  std::map<std::uint32_t, std::string> crawl_intersection(
+  const std::map<std::uint32_t, std::string>& crawl_intersection(
       sim::Time now, const web::DeviceProfile& crawl_dev,
       const std::string& serving_domain, std::uint32_t user) const;
 
+  // Collapses serving_domain to what the crawl outcome actually depends on:
+  // with no user cookie the domain is irrelevant; every first-party-org
+  // domain shares the same cookie view; third parties see only themselves.
+  std::string cookie_view_sig(const std::string& serving_domain,
+                              std::uint32_t user) const;
+
   const web::PageModel* model_;
   OfflineConfig config_;
+
+  // Memo keys: (now, device identity, cookie view, user). Device identity is
+  // name + rendering axes — two profiles that differ in either never alias.
+  using DevKey = std::tuple<std::string, int, int, int>;
+  static DevKey dev_key(const web::DeviceProfile& d) {
+    return {d.name, d.screen, d.dpi, d.width};
+  }
+  using IntersectKey = std::tuple<sim::Time, DevKey, std::string, std::uint32_t>;
+  mutable std::map<IntersectKey, std::map<std::uint32_t, std::string>>
+      intersect_cache_;
+  mutable std::map<std::tuple<sim::Time, DevKey, DevKey>, double> iou_cache_;
+  // Greedy clustering outcome per crawl time: index of each known device's
+  // class representative.
+  mutable std::map<sim::Time, std::vector<std::size_t>> cluster_cache_;
 };
 
 }  // namespace vroom::core

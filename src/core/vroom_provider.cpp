@@ -33,7 +33,7 @@ std::vector<std::pair<std::uint32_t, std::string>> resolve_candidates(
   switch (mode) {
     case ResolutionMode::OfflinePlusOnline:
     case ResolutionMode::OfflineOnly: {
-      auto stable = offline.stable_set(now, device, serving_domain, user);
+      const auto& stable = offline.stable_set(now, device, serving_domain, user);
       for (std::uint32_t id : scope) {
         auto it = stable.find(id);
         if (it != stable.end()) by_id.emplace(id, it->second);
@@ -97,7 +97,7 @@ server::DependencyAdvice VroomProvider::advise(const std::string& domain,
                                                const http::Request& req) {
   server::DependencyAdvice advice;
   const web::PageInstance& inst = store_.instance();
-  auto entry = store_.lookup(req.url);
+  auto entry = store_.lookup(req);
   if (!entry || entry->type != web::ResourceType::Html) return advice;
   const std::uint32_t doc_id = entry->template_id;
 

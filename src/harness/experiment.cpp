@@ -23,7 +23,11 @@ browser::LoadResult run_page_load(const web::PageModel& page,
                                   const baselines::Strategy& strategy,
                                   const RunOptions& options,
                                   std::uint64_t nonce) {
-  sim::EventLoop loop;
+  // Pooled: reuses a thread-local EventLoop's heap/slab backing storage
+  // across the thousands of loads a worker runs, instead of reallocating it
+  // from scratch per load.
+  sim::PooledEventLoop pooled;
+  sim::EventLoop& loop = *pooled;
   const net::NetworkConfig ncfg =
       strategy.local_network
           ? net::NetworkConfig::local_usb()
@@ -109,9 +113,10 @@ browser::LoadResult run_page_load(const web::PageModel& page,
   browser::Browser browser(network, pool, instance, lc);
   browser_ptr = &browser;
   browser.start();
-  loop.run(options.timeout);
+  const std::size_t executed = loop.run(options.timeout);
 
   browser::LoadResult result = browser.result();
+  result.sim_events = static_cast<std::int64_t>(executed);
   if (!result.finished) {
     // Timed out: report the timeout as the PLT so tails stay visible.
     result.plt = options.timeout;

@@ -17,13 +17,37 @@ ConnectionPool::ConnectionPool(net::Network& net, HandlerLookup lookup,
 Endpoint& ConnectionPool::endpoint(const std::string& domain) {
   auto it = endpoints_.find(domain);
   if (it != endpoints_.end()) return *it->second;
+  return create_endpoint(domain, 0xffffffffu);
+}
+
+Endpoint& ConnectionPool::endpoint(std::uint32_t domain_id,
+                                   std::string_view domain) {
+  if (domain_id < by_domain_id_.size() &&
+      by_domain_id_[domain_id] != nullptr) {
+    return *by_domain_id_[domain_id];
+  }
+  const std::string key(domain);
+  auto it = endpoints_.find(key);
+  Endpoint& ep = it != endpoints_.end() ? *it->second
+                                        : create_endpoint(key, domain_id);
+  if (domain_id != 0xffffffffu) {
+    if (domain_id >= by_domain_id_.size()) {
+      by_domain_id_.resize(domain_id + 1, nullptr);
+    }
+    by_domain_id_[domain_id] = &ep;
+  }
+  return ep;
+}
+
+Endpoint& ConnectionPool::create_endpoint(const std::string& domain,
+                                          std::uint32_t domain_id) {
   RequestHandler& handler = lookup_(domain);
   std::unique_ptr<Endpoint> ep;
   if (protocol_(domain) == Protocol::Http2) {
     ep = std::make_unique<Http2Session>(net_, domain, handler, push_observer_,
-                                        h2_discipline_);
+                                        h2_discipline_, domain_id);
   } else {
-    ep = std::make_unique<Http1Group>(net_, domain, handler);
+    ep = std::make_unique<Http1Group>(net_, domain, handler, domain_id);
   }
   auto [pos, _] = endpoints_.emplace(domain, std::move(ep));
   return *pos->second;

@@ -10,6 +10,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "http/http1.h"
 #include "http/http2.h"
@@ -32,16 +34,26 @@ class ConnectionPool {
   // Returns (creating on first use) the endpoint for a domain.
   Endpoint& endpoint(const std::string& domain);
 
+  // Id-keyed fast path: `domain_id` is the page world's interner id for
+  // `domain` (see web/intern.h). After the first call for a domain the
+  // lookup is one vector index — no string hashing or map walk. Identical
+  // endpoints to the string path (the id only memoizes).
+  Endpoint& endpoint(std::uint32_t domain_id, std::string_view domain);
+
   // Total response bytes received over HTTP/2 sessions (stats).
   std::int64_t h2_bytes() const;
 
  private:
+  Endpoint& create_endpoint(const std::string& domain,
+                            std::uint32_t domain_id);
+
   net::Network& net_;
   HandlerLookup lookup_;
   ProtocolChooser protocol_;
   PushObserver push_observer_;
   net::WriterDiscipline h2_discipline_;
   std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<Endpoint*> by_domain_id_;  // nullptr where not yet resolved
 };
 
 }  // namespace vroom::http

@@ -8,8 +8,11 @@
 namespace vroom::http {
 
 Http1Group::Http1Group(net::Network& net, std::string domain,
-                       RequestHandler& handler)
-    : net_(net), domain_(std::move(domain)), handler_(handler) {}
+                       RequestHandler& handler, std::uint32_t domain_id)
+    : net_(net),
+      domain_(std::move(domain)),
+      handler_(handler),
+      domain_id_(domain_id) {}
 
 void Http1Group::fetch(const Request& req, ResponseHandlers handlers) {
   // Insert keeping the queue ordered by priority (desc), FIFO within equal
@@ -55,8 +58,9 @@ void Http1Group::pump() {
          conns_.size() < static_cast<std::size_t>(kMaxConnections)) {
     auto cp = std::make_unique<Conn>();
     Conn* c = cp.get();
-    c->tcp = std::make_unique<net::TcpConnection>(net_, domain_,
-                                                  /*needs_dns=*/!dns_done_);
+    c->tcp = std::make_unique<net::TcpConnection>(
+        net_, domain_, /*needs_dns=*/!dns_done_,
+        net::WriterDiscipline::Ordered, domain_id_);
     dns_done_ = true;
     c->connecting = true;
     conns_.push_back(std::move(cp));
@@ -87,6 +91,7 @@ void Http1Group::run_request(Conn& c, Request req, ResponseHandlers handlers) {
                                             std::move(handlers)]() mutable {
           auto meta = std::make_shared<ResponseMeta>();
           meta->url = req.url;
+          meta->url_id = req.url_id;
           meta->body_bytes = reply.not_modified ? 0 : reply.body_bytes;
           meta->hints = std::move(reply.hints);
           meta->not_modified = reply.not_modified;

@@ -21,7 +21,10 @@ class Http1Group : public Endpoint {
  public:
   static constexpr int kMaxConnections = 6;
 
-  Http1Group(net::Network& net, std::string domain, RequestHandler& handler);
+  // `domain_id` is the page world's interner id for `domain` (see
+  // web/intern.h); 0xffffffff when the caller does not intern.
+  Http1Group(net::Network& net, std::string domain, RequestHandler& handler,
+             std::uint32_t domain_id = 0xffffffffu);
 
   void fetch(const Request& req, ResponseHandlers handlers) override;
   const std::string& domain() const override { return domain_; }
@@ -45,6 +48,7 @@ class Http1Group : public Endpoint {
   net::Network& net_;
   std::string domain_;
   RequestHandler& handler_;
+  std::uint32_t domain_id_;
   std::vector<std::unique_ptr<Conn>> conns_;
   std::deque<Pending> queue_;
   bool dns_done_ = false;  // only the first connection pays the DNS lookup

@@ -10,18 +10,20 @@ namespace vroom::http {
 
 Http2Session::Http2Session(net::Network& net, std::string domain,
                            RequestHandler& handler, PushObserver push_observer,
-                           net::WriterDiscipline discipline)
+                           net::WriterDiscipline discipline,
+                           std::uint32_t domain_id)
     : net_(net),
       domain_(std::move(domain)),
       handler_(handler),
       push_observer_(std::move(push_observer)),
-      discipline_(discipline) {}
+      discipline_(discipline),
+      domain_id_(domain_id) {}
 
 void Http2Session::ensure_connected() {
   if (conn_) return;
   conn_ = std::make_unique<net::TcpConnection>(net_, domain_,
                                                /*needs_dns=*/true,
-                                               discipline_);
+                                               discipline_, domain_id_);
   connecting_ = true;
   conn_->connect([this] {
     connecting_ = false;
@@ -68,6 +70,7 @@ void Http2Session::write_response(const Request& req, sim::Time requested,
                                   ResponseHandlers handlers) {
   auto meta = std::make_shared<ResponseMeta>();
   meta->url = req.url;
+  meta->url_id = req.url_id;
   meta->body_bytes = reply.not_modified ? 0 : reply.body_bytes;
   meta->hints = std::move(reply.hints);
   meta->not_modified = reply.not_modified;

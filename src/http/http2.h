@@ -21,10 +21,13 @@ namespace vroom::http {
 
 class Http2Session : public Endpoint {
  public:
+  // `domain_id` is the page world's interner id for `domain` (see
+  // web/intern.h); 0xffffffff when the caller does not intern.
   Http2Session(net::Network& net, std::string domain, RequestHandler& handler,
                PushObserver push_observer,
                net::WriterDiscipline discipline =
-                   net::WriterDiscipline::RoundRobin);
+                   net::WriterDiscipline::RoundRobin,
+               std::uint32_t domain_id = 0xffffffffu);
 
   void fetch(const Request& req, ResponseHandlers handlers) override;
   const std::string& domain() const override { return domain_; }
@@ -42,6 +45,7 @@ class Http2Session : public Endpoint {
   RequestHandler& handler_;
   PushObserver push_observer_;
   net::WriterDiscipline discipline_;
+  std::uint32_t domain_id_;
   std::unique_ptr<net::TcpConnection> conn_;
   bool connecting_ = false;
   std::uint32_t next_stream_ = 1;

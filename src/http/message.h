@@ -10,6 +10,7 @@
 #include "http/headers.h"
 #include "sim/time.h"
 #include "web/device.h"
+#include "web/intern.h"
 
 namespace vroom::http {
 
@@ -29,6 +30,10 @@ constexpr std::int64_t k304Bytes = 250;  // revalidation "Not Modified"
 
 struct Request {
   std::string url;
+  // Interned id in the page world's interner (kInvalidId when the caller
+  // does not intern, e.g. protocol-level tests). Servers and sessions pass
+  // it through so the client never re-hashes the URL string.
+  web::UrlId url_id = web::kInvalidId;
   bool is_document = false;  // HTML navigation/iframe fetch
   int priority = 0;          // larger = more urgent (client-side queueing)
   web::DeviceProfile device;
@@ -38,6 +43,7 @@ struct Request {
 
 struct ResponseMeta {
   std::string url;
+  web::UrlId url_id = web::kInvalidId;  // copied from the request
   std::int64_t body_bytes = 0;
   HintSet hints;
   bool pushed = false;

@@ -86,8 +86,28 @@ sim::Time Network::rtt(const std::string& domain) {
   return total;
 }
 
+namespace {
+constexpr sim::Time kRttUnset = INT64_MIN;
+}  // namespace
+
+sim::Time Network::rtt(std::uint32_t domain_id, const std::string& domain) {
+  if (domain_id == 0xffffffffu) return rtt(domain);
+  if (domain_id < rtt_by_id_.size() && rtt_by_id_[domain_id] != kRttUnset) {
+    return rtt_by_id_[domain_id];
+  }
+  const sim::Time total = rtt(domain);
+  if (domain_id >= rtt_by_id_.size()) {
+    rtt_by_id_.resize(domain_id + 1, kRttUnset);
+  }
+  rtt_by_id_[domain_id] = total;
+  return total;
+}
+
 void Network::set_rtt(const std::string& domain, sim::Time rtt) {
   rtt_cache_[domain] = rtt;
+  // Drop the id overlay: ids are not recorded against domains here, so the
+  // conservative invalidation is to forget every memoized entry.
+  rtt_by_id_.assign(rtt_by_id_.size(), kRttUnset);
 }
 
 }  // namespace vroom::net

@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 // (sim::Rng is used for deterministic loss draws.)
 
@@ -79,6 +80,12 @@ class Network {
   // leg. Deterministic per (seed, domain).
   sim::Time rtt(const std::string& domain);
 
+  // Id-keyed overlay on the RTT cache: `domain_id` is the caller's dense
+  // interner id for `domain` (see web/intern.h). The draw stays a pure
+  // function of (seed, domain string) — the id only indexes the memo, so
+  // results are identical to the string path.
+  sim::Time rtt(std::uint32_t domain_id, const std::string& domain);
+
   // Overrides the drawn RTT (used by tests and by record/replay fidelity
   // checks).
   void set_rtt(const std::string& domain, sim::Time rtt);
@@ -103,6 +110,7 @@ class Network {
   std::uint64_t rtt_seed_;
   int conn_seq_ = 0;
   std::map<std::string, sim::Time> rtt_cache_;
+  std::vector<sim::Time> rtt_by_id_;  // kRttUnset where not yet drawn
   // Starts deep in the past: the radio is idle when a session begins.
   sim::Time radio_active_until_ = INT64_MIN / 2;
   std::unique_ptr<sim::Rng> loss_rng_;

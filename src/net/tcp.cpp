@@ -9,20 +9,15 @@
 
 namespace vroom::net {
 
-bool TcpConnection::Stream::exhausted() const {
-  return send_cursor >= chunks.size() ||
-         (send_cursor == chunks.size() - 1 &&
-          chunks[send_cursor].to_send == 0);
-}
-
 TcpConnection::TcpConnection(Network& net, std::string domain, bool needs_dns,
-                             WriterDiscipline discipline)
+                             WriterDiscipline discipline,
+                             std::uint32_t domain_id)
     : net_(net),
       domain_(std::move(domain)),
       lane_("conn#" + std::to_string(net.alloc_conn_id())),
       needs_dns_(needs_dns),
       discipline_(discipline),
-      rtt_(net_.rtt(domain_)) {
+      rtt_(net_.rtt(domain_id, domain_)) {
   const auto& cfg = net_.config();
   cwnd_ = static_cast<std::int64_t>(cfg.init_cwnd_segments) * cfg.mss_bytes;
   max_cwnd_ = static_cast<std::int64_t>(cfg.max_cwnd_segments) * cfg.mss_bytes;

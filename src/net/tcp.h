@@ -36,9 +36,11 @@ class TcpConnection {
   };
 
   // `needs_dns` should be true for the first connection to a domain within a
-  // page load.
+  // page load. `domain_id` (an interner id, see web/intern.h) lets the RTT
+  // lookup skip the string map; 0xffffffff means "unknown" and falls back.
   TcpConnection(Network& net, std::string domain, bool needs_dns,
-                WriterDiscipline discipline = WriterDiscipline::Ordered);
+                WriterDiscipline discipline = WriterDiscipline::Ordered,
+                std::uint32_t domain_id = 0xffffffffu);
 
   TcpConnection(const TcpConnection&) = delete;
   TcpConnection& operator=(const TcpConnection&) = delete;
@@ -87,7 +89,12 @@ class TcpConnection {
     std::size_t send_cursor = 0;     // first chunk with to_send > 0
     std::size_t deliver_cursor = 0;  // first chunk with to_deliver > 0
     std::int64_t inflight = 0;       // un-acknowledged bytes (flow control)
-    bool exhausted() const;
+    // Hot: pick_stream() scans every stream per pumped segment.
+    bool exhausted() const {
+      return send_cursor >= chunks.size() ||
+             (send_cursor == chunks.size() - 1 &&
+              chunks[send_cursor].to_send == 0);
+    }
   };
 
   Stream& stream_for(std::uint32_t id, int priority);

@@ -13,12 +13,12 @@ http::ServerReply OriginServer::handle(const http::Request& req) {
   ++requests_served_;
   if (recorder_) recorder_->counters().add("server.requests");
   http::ServerReply reply;
-  auto entry = store_.lookup(req.url);
+  auto entry = store_.lookup(req);
   if (!entry) {
     reply.body_bytes = 500;  // error page
     return reply;
   }
-  assert(web::url_domain(req.url) == domain_);
+  assert(web::url_domain_view(req.url) == domain_);
 
   if (req.conditional && entry->current) {
     // The cached copy is still the live version of this slot.
@@ -50,7 +50,7 @@ http::ServerReply OriginServer::handle(const http::Request& req) {
     for (http::PushItem& p : advice.pushes) {
       // A domain can only securely push content it owns, and skips content
       // the client's cache digest says it already holds.
-      const bool cross_domain = web::url_domain(p.url) != domain_;
+      const bool cross_domain = web::url_domain_view(p.url) != domain_;
       const bool in_digest = !cross_domain && digest_ && digest_(p.url);
       const bool do_push = !cross_domain && !in_digest;
       if (recorder_) {

@@ -3,6 +3,21 @@
 namespace vroom::server {
 
 std::optional<ReplayStore::Entry> ReplayStore::lookup(
+    const http::Request& req) const {
+  if (req.url_id != web::kInvalidId) {
+    if (auto id = instance_->template_of(req.url_id)) {
+      Entry e;
+      e.size = instance_->resource(*id).size;
+      e.type = instance_->model().resource(*id).type;
+      e.current = true;
+      e.template_id = *id;
+      return e;
+    }
+  }
+  return lookup(req.url);
+}
+
+std::optional<ReplayStore::Entry> ReplayStore::lookup(
     const std::string& url) const {
   if (auto id = instance_->find_by_url(url)) {
     Entry e;

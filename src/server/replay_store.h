@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 
+#include "http/message.h"
 #include "web/page_instance.h"
 
 namespace vroom::server {
@@ -30,6 +31,12 @@ class ReplayStore {
   // Resolves a URL to servable content; nullopt if the URL does not belong
   // to this page at all.
   std::optional<Entry> lookup(const std::string& url) const;
+
+  // Request overload: when the request carries the page world's interned
+  // UrlId (the common case — the store and the client share the instance's
+  // interner), current-content hits resolve with one vector index instead of
+  // hashing the URL. Stale/foreign URLs fall back to the string path.
+  std::optional<Entry> lookup(const http::Request& req) const;
 
   const web::PageInstance& instance() const { return *instance_; }
 

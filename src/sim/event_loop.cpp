@@ -1,37 +1,67 @@
 #include "sim/event_loop.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace vroom::sim {
+
+std::uint32_t EventLoop::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventLoop::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb.reset();
+  s.seq = 0;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
 
 EventId EventLoop::schedule_at(Time at, Callback cb) {
   if (at < now_) at = now_;
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Event{at, seq, std::move(cb)});
-  return EventId{seq};
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].cb = std::move(cb);
+  slots_[slot].seq = seq;
+  heap_.push_back(HeapEntry{at, seq, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return EventId{slot, seq};
 }
 
 void EventLoop::cancel(EventId id) {
-  if (id.seq_ == 0) return;
-  cancelled_.push_back(id.seq_);
+  if (id.seq_ == 0 || id.slot_ >= slots_.size()) return;
+  if (slots_[id.slot_].seq != id.seq_) return;  // fired or already cancelled
+  release_slot(id.slot_);
+  --live_;
+  // The heap entry stays behind as a tombstone; step() skips it when its seq
+  // no longer matches the slot's generation.
 }
 
 bool EventLoop::step(Time until) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), top.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    if (slots_[top.slot].seq != top.seq) {  // cancelled: drop the tombstone
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
       continue;
     }
     if (top.at > until) return false;
-    // Move the callback out before popping; the callback may schedule more
-    // events, which mutates the queue.
-    Event ev = std::move(const_cast<Event&>(top));
-    queue_.pop();
-    now_ = ev.at;
-    ev.cb();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    // Move the callback out and free the slot before invoking: the callback
+    // may schedule more events, which can grow the slab.
+    Callback cb = std::move(slots_[top.slot].cb);
+    release_slot(top.slot);
+    --live_;
+    now_ = top.at;
+    cb();
     return true;
   }
   return false;
@@ -42,5 +72,53 @@ std::size_t EventLoop::run(Time until) {
   while (step(until)) ++n;
   return n;
 }
+
+void EventLoop::reset() {
+  heap_.clear();
+  // Destroy any surviving callbacks but keep the slab's capacity.
+  const std::size_t capacity = slots_.size();
+  slots_.clear();
+  slots_.resize(capacity);
+  free_head_ = kNoFreeSlot;
+  for (std::size_t i = capacity; i-- > 0;) {
+    slots_[i].next_free = free_head_;
+    free_head_ = static_cast<std::uint32_t>(i);
+  }
+  live_ = 0;
+  now_ = 0;
+  next_seq_ = 1;
+  recorder_ = nullptr;
+}
+
+namespace {
+
+// One pool per thread: fleet workers never share loops, and a loop acquired
+// on a thread is returned to that thread's pool.
+struct LoopPool {
+  std::vector<std::unique_ptr<EventLoop>> free_list;
+
+  EventLoop* acquire() {
+    if (free_list.empty()) return new EventLoop();
+    EventLoop* loop = free_list.back().release();
+    free_list.pop_back();
+    return loop;
+  }
+
+  void release(EventLoop* loop) {
+    loop->reset();
+    free_list.emplace_back(loop);
+  }
+};
+
+LoopPool& thread_pool() {
+  thread_local LoopPool pool;
+  return pool;
+}
+
+}  // namespace
+
+PooledEventLoop::PooledEventLoop() : loop_(thread_pool().acquire()) {}
+
+PooledEventLoop::~PooledEventLoop() { thread_pool().release(loop_); }
 
 }  // namespace vroom::sim

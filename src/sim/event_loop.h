@@ -4,15 +4,22 @@
 // executed in (time, insertion-order) order, so simultaneous events are
 // deterministic. The loop never sleeps: running it advances virtual time
 // instantaneously, which makes week-long page-evolution experiments cheap.
+//
+// Internals are built for the per-load hot path (a page load executes a few
+// thousand events, a fleet run hundreds of millions): callbacks live in a
+// recycled slab of SmallFn slots (no per-event heap allocation for typical
+// closures), the heap orders 24-byte POD entries, and cancellation is O(1)
+// and idempotent — a cancelled entry becomes a tombstone that the pop path
+// skips when its generation no longer matches the slot. reset() keeps the
+// slab and heap capacity so fleet workers reuse one loop's storage across
+// consecutive loads.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "sim/small_fn.h"
 #include "sim/time.h"
 
 namespace vroom::trace {
@@ -21,21 +28,23 @@ class Recorder;
 
 namespace vroom::sim {
 
-// Handle used to cancel a pending event. Cancellation is lazy: the event
-// stays in the queue but its callback is dropped when it fires.
+// Handle used to cancel a pending event. Holds the event's slab slot and its
+// generation (the global insertion seq); cancelling a fired, re-used, or
+// default-constructed id is a no-op because the generation no longer matches.
 class EventId {
  public:
   EventId() = default;
 
  private:
   friend class EventLoop;
-  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  EventId(std::uint32_t slot, std::uint64_t seq) : slot_(slot), seq_(seq) {}
+  std::uint32_t slot_ = 0;
   std::uint64_t seq_ = 0;  // 0 means "no event"
 };
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
@@ -51,8 +60,8 @@ class EventLoop {
     return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
   }
 
-  // Drops a pending event. Safe to call with a default-constructed or
-  // already-fired id.
+  // Drops a pending event. Idempotent: default-constructed, already-fired,
+  // and already-cancelled ids are no-ops, and never perturb pending().
   void cancel(EventId id);
 
   // Runs events until the queue is empty or `until` is reached, whichever
@@ -63,8 +72,15 @@ class EventLoop {
   // event lies beyond `until`.
   bool step(Time until = kNever);
 
-  bool empty() const { return queue_.size() == cancelled_.size(); }
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t pending() const { return live_; }
+
+  // Returns the loop to its just-constructed state (now()==0, fresh seqs, no
+  // recorder) but keeps the slab and heap capacity, so a pooled loop reused
+  // across page loads stops paying per-load allocation warmup. A reset loop
+  // is indistinguishable from a new one: seqs restart at 1, so event
+  // ordering — and therefore every simulated number — is unchanged.
+  void reset();
 
   // Structured-trace recorder attached to this simulation world (see
   // src/trace/). Null when tracing is disabled — instrumentation sites
@@ -74,23 +90,58 @@ class EventLoop {
   void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
 
  private:
-  struct Event {
+  // Min-heap entry; the callback lives in slots_[slot]. An entry is live iff
+  // its seq still matches the slot's generation — cancel() frees the slot,
+  // leaving the entry behind as a tombstone for the pop path to skip.
+  struct HeapEntry {
     Time at;
     std::uint64_t seq;
-    Callback cb;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    Callback cb;
+    std::uint64_t seq = 0;        // generation; 0 means "free"
+    std::uint32_t next_free = 0;  // free-list link, valid while free
+  };
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
 
   Time now_ = 0;
   trace::Recorder* recorder_ = nullptr;
   std::uint64_t next_seq_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted insertion not required; small
+  std::size_t live_ = 0;  // scheduled and neither fired nor cancelled
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFreeSlot;
+};
+
+// Thread-local pool of EventLoops: acquire on construction, reset-and-return
+// on destruction. Fleet workers build one simulation world per (page, load)
+// job; pooling lets consecutive jobs on a worker reuse the slab and heap
+// storage the previous load grew. Reentrant — a nested world (e.g. the
+// offline resolver crawling inside a live load) simply acquires a second
+// loop.
+class PooledEventLoop {
+ public:
+  PooledEventLoop();
+  ~PooledEventLoop();
+  PooledEventLoop(const PooledEventLoop&) = delete;
+  PooledEventLoop& operator=(const PooledEventLoop&) = delete;
+
+  EventLoop& operator*() { return *loop_; }
+  EventLoop* operator->() { return loop_; }
+  EventLoop* get() { return loop_; }
+
+ private:
+  EventLoop* loop_;
 };
 
 }  // namespace vroom::sim

@@ -1,0 +1,52 @@
+#include "web/intern.h"
+
+#include "web/url.h"
+
+namespace vroom::web {
+namespace {
+
+std::int8_t native_priority_of(ResourceType t) {
+  switch (t) {
+    case ResourceType::Html: return 3;
+    case ResourceType::Css:
+    case ResourceType::Js: return 2;
+    case ResourceType::Font: return 1;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+UrlId Interner::url_id(std::string_view url) {
+  auto it = url_index_.find(url);
+  if (it != url_index_.end()) return it->second;
+
+  const UrlId id = static_cast<UrlId>(urls_.size());
+  urls_.emplace_back(url);
+  UrlInfo info;
+  info.domain = domain_id(url_domain_view(url));
+  if (auto parsed = parse_url(url)) {
+    info.parse_ok = true;
+    info.type = type_from_ext(parsed->ext);
+    info.processable = is_processable(info.type);
+    info.native_priority = native_priority_of(info.type);
+    info.resource_id = parsed->resource_id;
+    info.page_id = parsed->page_id;
+    info.version = parsed->version;
+    info.user = parsed->user;
+  }
+  info_.push_back(info);
+  url_index_.emplace(urls_.back(), id);
+  return id;
+}
+
+DomainId Interner::domain_id(std::string_view domain) {
+  auto it = domain_index_.find(domain);
+  if (it != domain_index_.end()) return it->second;
+  const DomainId id = static_cast<DomainId>(domains_.size());
+  domains_.emplace_back(domain);
+  domain_index_.emplace(domains_.back(), id);
+  return id;
+}
+
+}  // namespace vroom::web

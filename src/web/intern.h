@@ -1,0 +1,90 @@
+// URL and domain interning for the per-load simulation world.
+//
+// Page loads re-touch the same few hundred URLs thousands of times (fetch
+// dedup, template lookup, endpoint routing, hint matching); keying those hot
+// paths on std::string re-hashes and re-compares the full URL every time.
+// The Interner assigns each distinct URL/domain a dense 32-bit id exactly
+// once, caches everything derivable from the URL's syntax (domain id,
+// resource type, native fetch priority, parsed version fields) at intern
+// time, and lets the rest of the world run on ids. Strings survive only at
+// the edges: trace events, CSV export, waterfall tables.
+//
+// Ownership and lifetime: the interner is owned by the `PageInstance` (the
+// page world); every realized resource URL and its origin are pre-interned
+// at build time, so instance resources get ids 0..N-1 in resource order.
+// Foreign URLs (stale hints, ghost fetches) intern lazily on first touch.
+// Ids are meaningful only relative to one interner — they never cross loads
+// or appear in results, so interning cannot affect simulated numbers. A page
+// world is single-threaded (each fleet job builds a private world), so the
+// interner is not synchronized.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "web/resource.h"
+
+namespace vroom::web {
+
+using UrlId = std::uint32_t;
+using DomainId = std::uint32_t;
+inline constexpr std::uint32_t kInvalidId = 0xffffffffu;
+
+// Syntax-derived facts about an interned URL, computed once at intern time.
+struct UrlInfo {
+  DomainId domain = kInvalidId;
+  ResourceType type = ResourceType::Other;
+  bool parse_ok = false;    // canonical <domain>/p../r..v..[u..].<ext> shape
+  bool processable = false; // HTML/CSS/JS per extension
+  // Browser-native request priority (Chrome's scheme, roughly): documents
+  // highest, render-blocking CSS/JS next, fonts, then images/media.
+  std::int8_t native_priority = 0;
+  // Embedded fields, valid iff parse_ok.
+  std::uint32_t resource_id = 0;
+  std::uint32_t page_id = 0;
+  std::uint64_t version = 0;
+  std::uint32_t user = 0;
+};
+
+class Interner {
+ public:
+  Interner() = default;
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  // Interns `url`, returning its stable id (existing id if already known).
+  UrlId url_id(std::string_view url);
+
+  // Non-inserting lookup: kInvalidId if `url` was never interned.
+  UrlId find_url(std::string_view url) const {
+    auto it = url_index_.find(url);
+    return it == url_index_.end() ? kInvalidId : it->second;
+  }
+
+  const std::string& url(UrlId id) const { return urls_[id]; }
+  const UrlInfo& info(UrlId id) const { return info_[id]; }
+  std::size_t url_count() const { return urls_.size(); }
+
+  DomainId domain_id(std::string_view domain);
+  DomainId find_domain(std::string_view domain) const {
+    auto it = domain_index_.find(domain);
+    return it == domain_index_.end() ? kInvalidId : it->second;
+  }
+  const std::string& domain(DomainId id) const { return domains_[id]; }
+  std::size_t domain_count() const { return domains_.size(); }
+
+ private:
+  // std::deque keeps element addresses stable, so the index maps can key on
+  // string_views into the stored strings without re-owning them.
+  std::deque<std::string> urls_;
+  std::deque<std::string> domains_;
+  std::vector<UrlInfo> info_;
+  std::unordered_map<std::string_view, UrlId> url_index_;
+  std::unordered_map<std::string_view, DomainId> domain_index_;
+};
+
+}  // namespace vroom::web

@@ -77,22 +77,27 @@ std::string realize_url(const PageModel& model, const Resource& r,
 PageInstance::PageInstance(const PageModel& model, const LoadIdentity& id)
     : model_(&model), id_(id) {
   resources_.reserve(model.size());
+  template_by_url_.reserve(model.size());
   for (const Resource& r : model.resources()) {
     const std::uint64_t full_version = full_version_of(r, id);
     InstanceResource ir;
     ir.template_id = r.id;
     ir.url = realize_url(model, r, id);
+    ir.url_id = interner_.url_id(ir.url);
     ir.size = realized_size(r, full_version);
-    by_url_.emplace(ir.url, r.id);
+    // Realized URLs are distinct per slot, so pre-interning in build order
+    // assigns resource i the UrlId i.
+    assert(ir.url_id == template_by_url_.size());
+    template_by_url_.push_back(r.id);
     resources_.push_back(std::move(ir));
   }
 }
 
 std::optional<std::uint32_t> PageInstance::find_by_url(
     const std::string& url) const {
-  auto it = by_url_.find(url);
-  if (it == by_url_.end()) return std::nullopt;
-  return it->second;
+  const UrlId id = interner_.find_url(url);
+  if (id == kInvalidId) return std::nullopt;
+  return template_of(id);
 }
 
 std::vector<std::string> PageInstance::url_set() const {

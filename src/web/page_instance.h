@@ -15,11 +15,11 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
 #include "web/device.h"
+#include "web/intern.h"
 #include "web/page_model.h"
 #include "web/url.h"
 
@@ -35,6 +35,7 @@ struct LoadIdentity {
 struct InstanceResource {
   std::uint32_t template_id = 0;
   std::string url;
+  UrlId url_id = kInvalidId;  // pre-interned in the instance's interner
   std::int64_t size = 0;
 };
 
@@ -67,6 +68,21 @@ class PageInstance {
   // nullopt for URLs of other instances (stale hints) / unknown URLs.
   std::optional<std::uint32_t> find_by_url(const std::string& url) const;
 
+  // Id-keyed variant: the template id behind an interned URL, or nullopt
+  // for URLs interned after build (they are foreign by construction).
+  std::optional<std::uint32_t> template_of(UrlId id) const {
+    if (id >= template_by_url_.size()) return std::nullopt;
+    const std::uint32_t t = template_by_url_[id];
+    if (t == kInvalidId) return std::nullopt;
+    return t;
+  }
+
+  // The page world's URL/domain interner. Every resource URL and origin is
+  // pre-interned at build, so resource i's URL has UrlId i; foreign URLs
+  // (stale hints) intern lazily through this accessor. Mutable through a
+  // const instance because a page world is single-threaded — see intern.h.
+  Interner& interner() const { return interner_; }
+
   // Set of realized URLs (for persistence / accuracy set arithmetic).
   std::vector<std::string> url_set() const;
 
@@ -74,7 +90,10 @@ class PageInstance {
   const PageModel* model_;
   LoadIdentity id_;
   std::vector<InstanceResource> resources_;
-  std::unordered_map<std::string, std::uint32_t> by_url_;
+  // template_by_url_[url_id] = template id, kInvalidId for non-resource ids.
+  // Sized at build; later-interned URLs are foreign, template_of covers them.
+  std::vector<std::uint32_t> template_by_url_;
+  mutable Interner interner_;
 };
 
 // Realizes the URL + size a given (possibly stale) request would resolve to

@@ -40,4 +40,10 @@ std::optional<ParsedUrl> parse_url(std::string_view url);
 // Extracts only the domain (prefix up to the first '/').
 std::string url_domain(std::string_view url);
 
+// Non-allocating variant; the view aliases `url`'s storage.
+constexpr std::string_view url_domain_view(std::string_view url) {
+  const std::size_t slash = url.find('/');
+  return slash == std::string_view::npos ? url : url.substr(0, slash);
+}
+
 }  // namespace vroom::web

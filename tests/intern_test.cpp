@@ -1,0 +1,165 @@
+// URL/domain interning: ids must be stable across identical builds, id-keyed
+// lookups must agree with their string-keyed equivalents on real corpus
+// pages, and interning must be a pure bookkeeping change — the traced event
+// stream of a load is bit-identical run to run.
+#include "web/intern.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/strategies.h"
+#include "browser/browser.h"
+#include "harness/experiment.h"
+#include "scoped_env.h"
+#include "trace/trace.h"
+#include "web/corpus.h"
+#include "web/page_generator.h"
+#include "web/page_instance.h"
+#include "web/url.h"
+
+namespace vroom {
+namespace {
+
+using testutil::ScopedEnv;
+
+web::LoadIdentity test_identity(std::uint64_t nonce) {
+  web::LoadIdentity id;
+  id.wall_time = sim::hours(1000);
+  id.nonce = nonce;
+  return id;
+}
+
+TEST(Interner, AssignsDenseIdsAndRoundTrips) {
+  web::Interner in;
+  const web::UrlId a = in.url_id("a.example/p1/r0v2u0.html");
+  const web::UrlId b = in.url_id("b.example/p1/r1v7u0.css");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  // Re-interning is idempotent: same id, no growth.
+  EXPECT_EQ(in.url_id("a.example/p1/r0v2u0.html"), a);
+  EXPECT_EQ(in.url_count(), 2u);
+  EXPECT_EQ(in.url(a), "a.example/p1/r0v2u0.html");
+  EXPECT_EQ(in.url(b), "b.example/p1/r1v7u0.css");
+  // find_url never inserts.
+  EXPECT_EQ(in.find_url("c.example/p1/r2v0u0.js"), web::kInvalidId);
+  EXPECT_EQ(in.url_count(), 2u);
+  EXPECT_EQ(in.find_url("a.example/p1/r0v2u0.html"), a);
+}
+
+TEST(Interner, UrlInfoCachesSyntaxDerivedFacts) {
+  web::Interner in;
+  const web::UrlId html = in.url_id("a.example/p3/r0v2u0.html");
+  const web::UrlId css = in.url_id("a.example/p3/r1v2u0.css");
+  const web::UrlId js = in.url_id("cdn.example/p3/r2v9u5.js");
+  const web::UrlId img = in.url_id("a.example/p3/r3v2u0.jpg");
+  const web::UrlId junk = in.url_id("not a canonical url");
+
+  const web::UrlInfo& hi = in.info(html);
+  EXPECT_TRUE(hi.parse_ok);
+  EXPECT_EQ(hi.type, web::ResourceType::Html);
+  EXPECT_TRUE(hi.processable);
+  EXPECT_EQ(hi.page_id, 3u);
+  EXPECT_EQ(hi.resource_id, 0u);
+  EXPECT_EQ(hi.version, 2u);
+  EXPECT_EQ(in.domain(hi.domain), "a.example");
+
+  const web::UrlInfo& ji = in.info(js);
+  EXPECT_TRUE(ji.processable);
+  EXPECT_EQ(ji.user, 5u);
+  EXPECT_EQ(in.domain(ji.domain), "cdn.example");
+  // Same-domain URLs share one DomainId.
+  EXPECT_EQ(hi.domain, in.info(css).domain);
+  EXPECT_EQ(hi.domain, in.info(img).domain);
+  EXPECT_NE(hi.domain, ji.domain);
+
+  EXPECT_FALSE(in.info(img).processable);
+  // Priorities follow the browser's native scheme: documents above
+  // render-blocking CSS/JS above everything else.
+  EXPECT_GT(hi.native_priority, in.info(css).native_priority);
+  EXPECT_GT(in.info(css).native_priority, in.info(img).native_priority);
+
+  // Unparsable URLs intern fine (ghost fetches need ids too) but carry
+  // conservative defaults.
+  const web::UrlInfo& ki = in.info(junk);
+  EXPECT_FALSE(ki.parse_ok);
+  EXPECT_FALSE(ki.processable);
+}
+
+TEST(Interner, IdsStableAcrossIdenticalInstanceBuilds) {
+  const web::PageModel page = web::generate_page(42, 5, web::PageClass::News);
+  const web::PageInstance a(page, test_identity(7));
+  const web::PageInstance b(page, test_identity(7));
+
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.interner().url_count(), b.interner().url_count());
+  ASSERT_EQ(a.interner().domain_count(), b.interner().domain_count());
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    // Resource i pre-interns to UrlId i, in both builds.
+    EXPECT_EQ(a.resource(i).url_id, i);
+    EXPECT_EQ(b.resource(i).url_id, i);
+    EXPECT_EQ(a.interner().url(i), b.interner().url(i));
+    EXPECT_EQ(a.interner().info(i).domain, b.interner().info(i).domain);
+  }
+}
+
+TEST(Interner, IdLookupsMatchStringLookupsOnCorpusPage) {
+  const web::Corpus corpus = web::Corpus::news_sports(42);
+  const web::PageInstance inst(corpus.pages().front(), test_identity(3));
+  web::Interner& in = inst.interner();
+
+  for (const web::InstanceResource& r : inst.resources()) {
+    // String-keyed and id-keyed template lookup agree.
+    const auto by_string = inst.find_by_url(r.url);
+    const auto by_id = inst.template_of(r.url_id);
+    ASSERT_TRUE(by_string.has_value()) << r.url;
+    ASSERT_TRUE(by_id.has_value()) << r.url;
+    EXPECT_EQ(*by_string, *by_id);
+    EXPECT_EQ(*by_id, r.template_id);
+    // The cached UrlInfo agrees with a fresh parse of the string.
+    const web::UrlInfo& info = in.info(r.url_id);
+    const auto parsed = web::parse_url(r.url);
+    ASSERT_TRUE(parsed.has_value()) << r.url;
+    EXPECT_TRUE(info.parse_ok);
+    EXPECT_EQ(in.domain(info.domain), parsed->domain);
+    EXPECT_EQ(info.resource_id, parsed->resource_id);
+    EXPECT_EQ(info.version, parsed->version);
+    EXPECT_EQ(info.user, parsed->user);
+    EXPECT_EQ(info.processable, browser::Browser::url_processable(r.url));
+  }
+
+  // A foreign URL interned after build is never mistaken for a resource.
+  const web::UrlId ghost = in.url_id("ghost.example/p9/r99v1u0.js");
+  EXPECT_GE(ghost, inst.size());
+  EXPECT_EQ(inst.template_of(ghost), std::nullopt);
+}
+
+// Interning is pure bookkeeping: two runs of the same load produce
+// bit-identical traced event streams (timestamps, names, args). Any hidden
+// dependence on id assignment or hash-map iteration order introduced by the
+// id-keyed hot paths would perturb event ordering and fail here.
+TEST(Interner, TracedEventStreamIdenticalAcrossRepeatedLoads) {
+  ScopedEnv trace_env("VROOM_TRACE", nullptr);
+  const web::PageModel page = web::generate_page(42, 4, web::PageClass::News);
+
+  auto traced_load = [&page](std::string* json) {
+    harness::RunOptions opt;
+    opt.seed = 42;
+    opt.trace_sink = [json](const trace::Recorder& r) {
+      *json = r.chrome_trace_json();
+    };
+    return harness::run_page_load(page, baselines::vroom(), opt, 1);
+  };
+
+  std::string first, second;
+  const auto r1 = traced_load(&first);
+  const auto r2 = traced_load(&second);
+  EXPECT_TRUE(r1.finished);
+  EXPECT_EQ(r1.plt, r2.plt);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace vroom

@@ -433,6 +433,42 @@ TEST(Trace, Http2LoadReplayHasNoH1HolWaits) {
   EXPECT_GT(hol_waits(baselines::http11()), 0);
 }
 
+// Every push decision an origin records must carry the policy label of the
+// push selection the provider was configured with — a decision attributed
+// to the wrong policy would silently corrupt any per-policy trace analysis.
+TEST(Trace, PushDecisionEventsCarryConfiguredPolicy) {
+  ScopedEnv trace_env("VROOM_TRACE", nullptr);
+  const web::PageModel page = web::generate_page(42, 3, web::PageClass::News);
+
+  auto decisions_with_policy = [&page](core::PushSelection push) {
+    baselines::Strategy s = baselines::vroom();
+    s.provider.push = push;
+    const std::string want =
+        std::string("\"policy\":\"") + core::push_selection_name(push) + "\"";
+    int decisions = 0;
+    harness::RunOptions opt;
+    opt.seed = 42;
+    opt.trace_sink = [&](const trace::Recorder& rec) {
+      for (const auto& ev : rec.events()) {
+        if (ev.name != "push.decision") continue;
+        ++decisions;
+        EXPECT_NE(ev.args_json.find(want), std::string::npos)
+            << "push.decision args: " << ev.args_json;
+      }
+    };
+    const auto r = harness::run_page_load(page, s, opt, 1);
+    EXPECT_TRUE(r.finished);
+    return decisions;
+  };
+
+  // Policies that push must record decisions, each tagged with that policy.
+  EXPECT_GT(decisions_with_policy(core::PushSelection::HighPriorityLocal), 0);
+  EXPECT_GT(decisions_with_policy(core::PushSelection::AllLocal), 0);
+  // With push disabled the provider advises no pushes, so origins have no
+  // decisions to record.
+  EXPECT_EQ(decisions_with_policy(core::PushSelection::None), 0);
+}
+
 TEST(Waterfall, TableListsRequestsInOrder) {
   ScopedEnv trace_env("VROOM_TRACE", nullptr);
   const web::PageModel page = web::generate_page(42, 3, web::PageClass::News);
