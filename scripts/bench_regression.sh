@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Tolerance-banded loads/sec regression gate: re-measures the tracked
+# BM_LoadsPerSecond series and fails when any variant's items_per_second
+# drops more than VROOM_BENCH_TOLERANCE below the committed baseline.
+#
+#   scripts/bench_regression.sh <build_dir> [baseline_json]
+#
+#   build_dir      cmake build tree containing bench/micro_substrate
+#   baseline_json  committed baseline (default: BENCH_substrate.json in the
+#                  repo root, written by scripts/bench_substrate.sh)
+#
+# Environment:
+#   VROOM_BENCH_TOLERANCE  allowed fractional drop vs baseline (default
+#                          0.5: fail only when throughput halves — shared
+#                          CI machines are noisy; the band exists to catch
+#                          order-of-magnitude regressions, not jitter)
+#   VROOM_BENCH_MIN_TIME   per-benchmark min run time (default 0.05s)
+#
+# Exit codes: 0 pass, 1 regression (or bench binary missing — that is a
+# build problem, not a skip), 77 skipped (no baseline / no python3;
+# registered in ctest with SKIP_RETURN_CODE 77).
+set -euo pipefail
+
+build_dir="${1:?usage: bench_regression.sh <build_dir> [baseline_json]}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+baseline="${2:-$repo_root/BENCH_substrate.json}"
+tolerance="${VROOM_BENCH_TOLERANCE:-0.5}"
+fresh="$build_dir/BENCH_substrate_regression.json"
+
+if [[ ! -f "$baseline" ]]; then
+  echo "skip: no committed baseline at $baseline" >&2
+  exit 77
+fi
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "skip: python3 unavailable for JSON comparison" >&2
+  exit 77
+fi
+
+VROOM_BENCH_FILTER='BM_LoadsPerSecond' \
+VROOM_BENCH_MIN_TIME="${VROOM_BENCH_MIN_TIME:-0.05}" \
+  "$repo_root/scripts/bench_substrate.sh" "$build_dir" "$fresh" > /dev/null
+
+python3 - "$baseline" "$fresh" "$tolerance" <<'EOF'
+import json
+import sys
+
+def series(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: b["items_per_second"]
+            for b in doc["benchmarks"]
+            if b["name"].startswith("BM_LoadsPerSecond")
+            and b.get("run_type", "iteration") != "aggregate"}
+
+base, fresh, tol = series(sys.argv[1]), series(sys.argv[2]), float(sys.argv[3])
+assert base, "baseline has no BM_LoadsPerSecond rows"
+assert fresh, "fresh run has no BM_LoadsPerSecond rows"
+
+failures = []
+for name, ref in sorted(base.items()):
+    got = fresh.get(name)
+    if got is None:
+        # Renamed/removed variants are a baseline-refresh chore, not a
+        # performance regression.
+        print(f"  warn: {name} not in fresh run (stale baseline?)")
+        continue
+    floor = (1.0 - tol) * ref
+    verdict = "ok" if got >= floor else "REGRESSION"
+    print(f"  {verdict:>10}  {name}: {got:,.0f}/s vs baseline {ref:,.0f}/s "
+          f"(floor {floor:,.0f}/s)")
+    if got < floor:
+        failures.append(name)
+
+if failures:
+    print(f"loads/sec regression: {len(failures)} variant(s) below "
+          f"{100 * (1 - tol):.0f}% of baseline", file=sys.stderr)
+    sys.exit(1)
+print(f"loads/sec gate ok: {len(base)} variants within tolerance {tol}")
+EOF

@@ -31,7 +31,9 @@ fi
 # Committed and uncommitted changes vs base, including staged ones.
 changed=$(git diff --name-only "${base}" -- 2>/dev/null)
 
-sim_layers='^src/(sim|net|http|browser|server|web|core|baselines)/'
+# deploy/ is included because front-end behavior (hint staleness, queueing)
+# parameterizes the strategies and options whose LoadResults get cached.
+sim_layers='^src/(sim|net|http|browser|server|web|core|baselines|deploy)/'
 sim_changed=$(printf '%s\n' "${changed}" | grep -E "${sim_layers}" || true)
 
 if [ -z "${sim_changed}" ]; then

@@ -38,6 +38,7 @@ std::string Strategy::fingerprint() const {
        << ";hints=" << provider.hints_enabled
        << ";push=" << core::push_selection_name(provider.push)
        << ";max_hints=" << provider.max_hints
+       << ";hint_age=" << provider.hint_age
        << ";offline{loads=" << provider.offline.loads
        << ";spacing=" << provider.offline.spacing << ";dev_handling="
        << static_cast<int>(provider.offline.device_handling)
@@ -102,6 +103,25 @@ Strategy vroom() {
   s.provider.hints_enabled = true;
   s.provider.push = core::PushSelection::HighPriorityLocal;
   s.sched = Strategy::Sched::VroomStaged;
+  return s;
+}
+
+Strategy vroom_stale_hints(sim::Time hint_age) {
+  Strategy s = vroom();
+  // A shared front-end serving cached advice: the offline stable set is
+  // `hint_age` old and there is no serve-time HTML scan (the cached entry
+  // was generated wholly at crawl time), so mode drops to OfflineOnly.
+  s.provider.mode = core::ResolutionMode::OfflineOnly;
+  s.provider.hint_age = hint_age;
+  if (hint_age == 0) {
+    s.name = "Vroom (front-end hints, fresh)";
+    return s;
+  }
+  const std::int64_t minutes = hint_age / sim::minutes(1);
+  s.name = "Vroom (hints " +
+           (minutes % 60 == 0 ? std::to_string(minutes / 60) + "h"
+                              : std::to_string(minutes) + "m") +
+           " stale)";
   return s;
 }
 

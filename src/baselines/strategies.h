@@ -55,6 +55,9 @@ Strategy http11();                    // "Loads from Web" proxy (Fig 1/3/13)
 Strategy http2_baseline();            // global HTTP/2, no aid
 Strategy push_all_static();           // Fig 3: first party pushes its statics
 Strategy vroom();                     // the full system
+// Vroom served from a shared front-end's hint cache: offline-only advice
+// resolved `hint_age` before serve time (deploy::FrontEnd staleness cells).
+Strategy vroom_stale_hints(sim::Time hint_age);
 Strategy vroom_first_party_only();    // §6.1 incremental deployment
 Strategy vroom_prev_load_deps();      // Fig 17: deps from one prior load
 Strategy vroom_offline_only();        // §4.1 strawman 2 (used in Fig 21 too)

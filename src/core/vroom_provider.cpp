@@ -20,9 +20,13 @@ const char* resolution_mode_name(ResolutionMode m) {
 std::vector<std::pair<std::uint32_t, std::string>> resolve_candidates(
     const web::PageInstance& served, std::uint32_t doc_id,
     const std::string& serving_domain, std::uint32_t user,
-    ResolutionMode mode, const OfflineResolver& offline) {
+    ResolutionMode mode, const OfflineResolver& offline,
+    sim::Time hint_age) {
   const web::PageModel& model = served.model();
   const sim::Time now = served.identity().wall_time;
+  // Offline knowledge is as fresh as the last crawl: a shared front-end
+  // serving cached hints resolves against crawls `hint_age` old.
+  const sim::Time crawl_now = now - (hint_age > 0 ? hint_age : 0);
   const web::DeviceProfile& device = served.identity().device;
 
   // Advice scope: descendants of the requested document, pruned below
@@ -33,7 +37,8 @@ std::vector<std::pair<std::uint32_t, std::string>> resolve_candidates(
   switch (mode) {
     case ResolutionMode::OfflinePlusOnline:
     case ResolutionMode::OfflineOnly: {
-      const auto& stable = offline.stable_set(now, device, serving_domain, user);
+      const auto& stable =
+          offline.stable_set(crawl_now, device, serving_domain, user);
       for (std::uint32_t id : scope) {
         auto it = stable.find(id);
         if (it != stable.end()) by_id.emplace(id, it->second);
@@ -102,7 +107,7 @@ server::DependencyAdvice VroomProvider::advise(const std::string& domain,
   const std::uint32_t doc_id = entry->template_id;
 
   auto ordered = resolve_candidates(inst, doc_id, domain, req.user,
-                                    config_.mode, offline_);
+                                    config_.mode, offline_, config_.hint_age);
   AdviceBuild build = build_advice(inst, ordered, domain,
                                    config_.hints_enabled, config_.push);
   truncate_hints(build.hints, config_.max_hints);

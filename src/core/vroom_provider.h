@@ -33,11 +33,17 @@ enum class ResolutionMode : std::uint8_t {
 const char* resolution_mode_name(ResolutionMode m);
 
 // Ordered (processing-order) candidate dependency list for a request for
-// document `doc_id`, as computed by `serving_domain`.
+// document `doc_id`, as computed by `serving_domain`. `hint_age` shifts the
+// offline resolution back in time: the stable set is computed as of
+// (serve time - hint_age), modelling a shared front-end serving hints from
+// a crawl that happened `hint_age` ago (deploy::FrontEnd). Rotated
+// resources then advise the *old* rotation's URLs, which clients fetch as
+// ghosts — the staleness cost the deployment simulator measures.
 std::vector<std::pair<std::uint32_t, std::string>> resolve_candidates(
     const web::PageInstance& served, std::uint32_t doc_id,
     const std::string& serving_domain, std::uint32_t user,
-    ResolutionMode mode, const OfflineResolver& offline);
+    ResolutionMode mode, const OfflineResolver& offline,
+    sim::Time hint_age = 0);
 
 struct VroomProviderConfig {
   ResolutionMode mode = ResolutionMode::OfflinePlusOnline;
@@ -48,6 +54,11 @@ struct VroomProviderConfig {
   // unlimited). When truncating, low-priority hints are dropped first —
   // the client discovers those on its own, at the smallest cost.
   int max_hints = 0;
+  // Crawl lag of the advice: offline resolution happens at
+  // (serve time - hint_age) instead of serve time. 0 = the paper's setup
+  // (origin resolves against its freshest crawls). Deployment-scale runs
+  // use this to price serving cached, possibly stale hints.
+  sim::Time hint_age = 0;
 };
 
 class VroomProvider final : public server::DependencyProvider {

@@ -1,0 +1,365 @@
+#include "deploy/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "browser/cache.h"
+#include "core/accuracy.h"
+#include "fleet/fleet.h"
+#include "harness/env.h"
+#include "harness/stats.h"
+#include "net/link.h"
+#include "sim/event_loop.h"
+#include "sim/random.h"
+#include "trace/trace.h"
+#include "web/url.h"
+
+namespace vroom::deploy {
+
+namespace {
+
+// Zipf page-popularity weights, matching population.cpp's page sampler —
+// the macro and the link auto-sizing must agree on which origins are hot.
+std::vector<double> page_weights(int pages, double skew) {
+  std::vector<double> w(static_cast<std::size_t>(pages));
+  double total = 0.0;
+  for (int p = 0; p < pages; ++p) {
+    w[static_cast<std::size_t>(p)] =
+        1.0 / std::pow(static_cast<double>(p + 1), skew);
+    total += w[static_cast<std::size_t>(p)];
+  }
+  for (double& v : w) v /= total;
+  return w;
+}
+
+sim::Time capped(sim::Time plt, sim::Time timeout) {
+  return plt == sim::kNever ? timeout : std::min(plt, timeout);
+}
+
+// Per-page traffic profile: bytes per origin domain, plus the fraction of
+// those bytes a warm (primed-cache) revisit still fetches.
+struct PageProfile {
+  std::vector<std::pair<std::string, std::int64_t>> domain_bytes;
+  std::int64_t total_bytes = 0;
+  double warm_bytes_frac = 1.0;
+};
+
+}  // namespace
+
+int MicroTable::bucket_for(HintSource source, sim::Time staleness) const {
+  if (source == HintSource::None) return hintless_bucket();
+  int best = 0;
+  sim::Time best_dist = sim::kNever;
+  for (std::size_t i = 0; i < ages.size(); ++i) {
+    const sim::Time dist = std::llabs(staleness - ages[i]);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+DeploymentReport run_deployment(const web::Corpus& corpus,
+                                const ScenarioConfig& cfg) {
+  DeploymentReport report;
+  const int pages = static_cast<int>(corpus.size());
+  report.pages = pages;
+  if (pages == 0 || cfg.offered_levels.empty()) return report;
+
+  const harness::Env env = harness::Env::from_environment();
+  PopulationConfig pop = cfg.population;
+  if (env.deploy_window_hours > 0) {
+    pop.window = sim::hours(env.deploy_window_hours);
+  }
+  report.window = pop.window;
+  const std::vector<DeviceShare> mix =
+      pop.device_mix.empty() ? default_device_mix() : pop.device_mix;
+  pop.device_mix = mix;
+  for (const DeviceShare& share : mix) {
+    report.device_names.push_back(share.device.name);
+  }
+
+  // --- Micro: the (device x hint condition) PLT table, on the fleet. ---
+  MicroTable& micro = report.micro;
+  micro.ages.push_back(0);
+  for (sim::Time age : cfg.stale_ages) micro.ages.push_back(age);
+
+  std::vector<baselines::Strategy> conditions;
+  for (sim::Time age : micro.ages) {
+    conditions.push_back(baselines::vroom_stale_hints(age));
+  }
+  conditions.push_back(baselines::http2_baseline());  // hintless serves
+
+  fleet::SweepPlan plan;
+  for (std::size_t d = 0; d < mix.size(); ++d) {
+    for (std::size_t c = 0; c < conditions.size(); ++c) {
+      harness::RunOptions opt = cfg.micro;
+      opt.seed = cfg.seed;
+      opt.device = mix[d].device;
+      opt.loads_per_page = 1;
+      plan.add(corpus, conditions[c], opt,
+               "deploy:" + mix[d].device.name + ":" + conditions[c].name);
+    }
+  }
+  const std::vector<harness::CorpusResult> cells = fleet::run_plan(plan);
+
+  const int buckets = static_cast<int>(conditions.size());
+  micro.plt.assign(mix.size(), {});
+  for (std::size_t d = 0; d < mix.size(); ++d) {
+    micro.plt[d].assign(static_cast<std::size_t>(buckets), {});
+    for (int c = 0; c < buckets; ++c) {
+      const harness::CorpusResult& cell =
+          cells[d * static_cast<std::size_t>(buckets) +
+                static_cast<std::size_t>(c)];
+      auto& col = micro.plt[d][static_cast<std::size_t>(c)];
+      col.reserve(cell.loads.size());
+      for (const browser::LoadResult& load : cell.loads) {
+        col.push_back(capped(load.plt, cfg.micro.timeout));
+      }
+    }
+  }
+
+  // Warm revisit column (Figure 20 style: prime, wait, revisit). Serial by
+  // nature — the browser cache's state depends on load order.
+  const baselines::Strategy fresh = conditions[0];
+  micro.warm_plt.assign(mix.size(), {});
+  std::vector<double> warm_bytes_frac(static_cast<std::size_t>(pages), 1.0);
+  for (std::size_t d = 0; d < mix.size(); ++d) {
+    micro.warm_plt[d].reserve(static_cast<std::size_t>(pages));
+    for (int p = 0; p < pages; ++p) {
+      const web::PageModel& page = corpus.page(static_cast<std::size_t>(p));
+      browser::Cache cache;
+      harness::RunOptions opt = cfg.micro;
+      opt.seed = cfg.seed;
+      opt.device = mix[d].device;
+      opt.cache = &cache;
+      const browser::LoadResult cold = harness::run_page_load(
+          page, fresh, opt,
+          harness::derive_load_nonce(cfg.seed, page.page_id(), 0));
+      opt.when += cfg.revisit_gap;
+      const browser::LoadResult warm = harness::run_page_load(
+          page, fresh, opt,
+          harness::derive_load_nonce(cfg.seed, page.page_id(), 1));
+      micro.warm_plt[d].push_back(capped(warm.plt, cfg.micro.timeout));
+      if (d == 0 && cold.bytes_fetched > 0) {
+        warm_bytes_frac[static_cast<std::size_t>(p)] =
+            static_cast<double>(warm.bytes_fetched) /
+            static_cast<double>(cold.bytes_fetched);
+      }
+    }
+  }
+
+  // --- Per-page origin traffic profiles (for link contention). ---
+  std::vector<PageProfile> profiles(static_cast<std::size_t>(pages));
+  for (int p = 0; p < pages; ++p) {
+    const web::PageModel& page = corpus.page(static_cast<std::size_t>(p));
+    web::LoadIdentity id;
+    id.wall_time = cfg.micro.when;
+    id.device = mix[0].device;
+    id.user = 0;
+    id.nonce = harness::derive_load_nonce(cfg.seed, page.page_id(), 0);
+    const web::PageInstance inst(page, id);
+    std::map<std::string, std::int64_t> by_domain;  // ordered => determinism
+    for (const web::InstanceResource& r : inst.resources()) {
+      by_domain[web::url_domain(r.url)] += r.size;
+    }
+    PageProfile& prof = profiles[static_cast<std::size_t>(p)];
+    prof.warm_bytes_frac = warm_bytes_frac[static_cast<std::size_t>(p)];
+    for (const auto& [domain, bytes] : by_domain) {
+      prof.domain_bytes.emplace_back(domain, bytes);
+      prof.total_bytes += bytes;
+    }
+  }
+
+  // --- Origin link rate: configured, or auto-sized to cross capacity. ---
+  const std::vector<double> weights = page_weights(pages, pop.page_skew);
+  double link_bps = cfg.origin_link_bps;
+  if (link_bps <= 0) {
+    const double top_level =
+        *std::max_element(cfg.offered_levels.begin(),
+                          cfg.offered_levels.end());
+    std::map<std::string, double> demand;  // bytes/sec per origin
+    for (int p = 0; p < pages; ++p) {
+      for (const auto& [domain, bytes] :
+           profiles[static_cast<std::size_t>(p)].domain_bytes) {
+        demand[domain] += top_level * weights[static_cast<std::size_t>(p)] *
+                          static_cast<double>(bytes);
+      }
+    }
+    double hottest = 0;
+    for (const auto& [domain, bps] : demand) {
+      hottest = std::max(hottest, bps);
+    }
+    link_bps = std::max(1.0, cfg.origin_capacity_frac * hottest * 8.0);
+  }
+  report.origin_link_mbps = link_bps / 1e6;
+
+  // --- Macro: one serial contention pass per offered level. ---
+  std::vector<std::int64_t> bucket_serves(
+      static_cast<std::size_t>(buckets), 0);
+
+  for (std::size_t li = 0; li < cfg.offered_levels.size(); ++li) {
+    PopulationConfig level_pop = pop;
+    level_pop.mean_arrivals_per_sec = cfg.offered_levels[li];
+    const std::vector<Arrival> arrivals = build_population(
+        pages, level_pop,
+        sim::derive_seed(cfg.seed, "deploy:level-" + std::to_string(li)),
+        env.deploy_arrivals);
+
+    sim::EventLoop loop;
+    std::unique_ptr<trace::Recorder> recorder;
+    if (cfg.trace_sink) recorder = std::make_unique<trace::Recorder>(loop);
+
+    FrontEnd fe(corpus, cfg.front_end,
+                sim::derive_seed(cfg.seed, "deploy:frontend"));
+    std::map<std::string, std::unique_ptr<net::Link>> links;
+    const auto link_for = [&](const std::string& domain) -> net::Link& {
+      auto it = links.find(domain);
+      if (it == links.end()) {
+        it = links
+                 .emplace(domain, std::make_unique<net::Link>(
+                                      loop, link_bps, "origin"))
+                 .first;
+      }
+      return *it->second;
+    };
+
+    LevelReport level;
+    level.offered_per_sec = cfg.offered_levels[li];
+    level.arrivals = static_cast<std::int64_t>(arrivals.size());
+    double origin_wait_sum_s = 0;
+
+    for (const Arrival& a : arrivals) {
+      loop.schedule_at(a.at, [&, a] {
+        const sim::Time now = loop.now();
+        const web::DeviceProfile& device = mix[a.device].device;
+        const ServeDecision d =
+            fe.serve(now, a.page, device, recorder.get());
+
+        const int bucket = micro.bucket_for(d.source, d.staleness);
+        sim::Time base;
+        if (a.warm) {
+          base = micro.warm_plt[a.device][static_cast<std::size_t>(a.page)];
+        } else {
+          base = micro.plt[a.device][static_cast<std::size_t>(bucket)]
+                          [static_cast<std::size_t>(a.page)];
+        }
+        if (d.source != HintSource::None) {
+          bucket_serves[static_cast<std::size_t>(bucket)] += 1;
+        }
+
+        // Every origin of the page ships its bytes through that origin's
+        // shared access link; the page stalls for the worst queue it hits.
+        const PageProfile& prof = profiles[static_cast<std::size_t>(a.page)];
+        sim::Time origin_wait = 0;
+        for (const auto& [domain, bytes] : prof.domain_bytes) {
+          net::Link& link = link_for(domain);
+          origin_wait =
+              std::max(origin_wait,
+                       std::max<sim::Time>(0, link.busy_until() - now));
+          const auto tx_bytes = static_cast<std::int64_t>(
+              a.warm ? static_cast<double>(bytes) * prof.warm_bytes_frac
+                     : static_cast<double>(bytes));
+          if (tx_bytes > 0) link.transmit(tx_bytes, [] {});
+        }
+
+        const sim::Time plt =
+            capped(base + d.queue_wait + origin_wait, cfg.micro.timeout);
+        if (plt >= cfg.micro.timeout) level.timeouts += 1;
+        level.plt_seconds.push_back(sim::to_seconds(plt));
+        // A user gives up at the timeout, so the experienced wait caps there
+        // too — otherwise day-long overload queues dominate the mean.
+        origin_wait_sum_s +=
+            sim::to_seconds(std::min(origin_wait, cfg.micro.timeout));
+        if (recorder != nullptr) {
+          recorder->instant(
+              trace::Layer::Deploy, "population", "arrivals",
+              "deploy.page_view",
+              {trace::arg("page", static_cast<int>(a.page)),
+               trace::arg("plt_s", sim::to_seconds(plt)),
+               trace::arg("origin_wait_ms", sim::to_ms(origin_wait)),
+               trace::arg("source", hint_source_name(d.source)),
+               trace::arg("warm", a.warm ? 1 : 0)});
+        }
+      });
+    }
+    loop.run();
+
+    // Truncated streams (VROOM_DEPLOY_ARRIVALS) end early; rate math uses
+    // the time actually covered, not the configured window.
+    const bool truncated =
+        env.deploy_arrivals > 0 &&
+        level.arrivals == static_cast<std::int64_t>(env.deploy_arrivals);
+    const double window_s = sim::to_seconds(
+        truncated && !arrivals.empty() ? arrivals.back().at
+                                       : level_pop.window);
+    const std::int64_t completed = level.arrivals - level.timeouts;
+    level.served_per_sec =
+        window_s > 0 ? static_cast<double>(completed) / window_s : 0.0;
+    level.p50_plt_s = harness::percentile(level.plt_seconds, 50);
+    level.p99_plt_s = harness::percentile(level.plt_seconds, 99);
+    level.mean_origin_wait_s =
+        level.arrivals > 0
+            ? origin_wait_sum_s / static_cast<double>(level.arrivals)
+            : 0.0;
+    const FrontEndStats& fs = fe.stats();
+    level.front_end = fs;
+    level.hit_ratio = fs.hit_ratio();
+    if (fs.serves > 0) {
+      level.stale_frac = static_cast<double>(fs.stale_serves) /
+                         static_cast<double>(fs.serves);
+      level.hintless_frac = static_cast<double>(fs.hintless_serves) /
+                            static_cast<double>(fs.serves);
+      level.mean_fe_wait_ms =
+          sim::to_ms(fs.total_queue_wait) / static_cast<double>(fs.serves);
+    }
+    const std::int64_t hinted = fs.serves - fs.hintless_serves;
+    if (hinted > 0) {
+      level.mean_staleness_s = sim::to_seconds(fs.total_staleness) /
+                               static_cast<double>(hinted);
+    }
+    for (const auto& [domain, link] : links) {
+      level.max_link_utilization =
+          std::max(level.max_link_utilization, link->utilization());
+    }
+    report.levels.push_back(std::move(level));
+    if (cfg.trace_sink && recorder != nullptr) {
+      cfg.trace_sink(static_cast<int>(li), *recorder);
+    }
+  }
+
+  report.effective_recrawl =
+      FrontEnd(corpus, cfg.front_end, cfg.seed).effective_recrawl_period();
+
+  // --- Staleness priced against content persistence (Figure 7's axis). ---
+  for (std::size_t b = 0; b < micro.ages.size(); ++b) {
+    StaleBucketReport row;
+    row.age = micro.ages[b];
+    double persistence = 0;
+    for (int p = 0; p < pages; ++p) {
+      persistence += core::persistence_fraction(
+          corpus.page(static_cast<std::size_t>(p)), cfg.micro.when,
+          mix[0].device, /*user=*/1, row.age);
+    }
+    row.persistence = persistence / static_cast<double>(pages);
+    row.serves = bucket_serves[b];
+    double sum = 0;
+    std::int64_t n = 0;
+    for (std::size_t d = 0; d < mix.size(); ++d) {
+      for (const sim::Time plt : micro.plt[d][b]) {
+        sum += sim::to_seconds(plt);
+        ++n;
+      }
+    }
+    row.mean_micro_plt_s = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    report.stale_buckets.push_back(row);
+  }
+
+  return report;
+}
+
+}  // namespace vroom::deploy

@@ -39,6 +39,10 @@ Env Env::from_environment() {
   env.result_cache_dir = string_or_empty(std::getenv("VROOM_RESULT_CACHE"));
   env.trace_dir = string_or_empty(std::getenv("VROOM_TRACE"));
   env.out_dir = string_or_empty(std::getenv("VROOM_OUT_DIR"));
+  env.deploy_arrivals = parse_positive_int(
+      "VROOM_DEPLOY_ARRIVALS", std::getenv("VROOM_DEPLOY_ARRIVALS"));
+  env.deploy_window_hours = parse_positive_int(
+      "VROOM_DEPLOY_WINDOW_HOURS", std::getenv("VROOM_DEPLOY_WINDOW_HOURS"));
   const char* progress = std::getenv("VROOM_PROGRESS");
   env.progress = progress != nullptr && *progress != '\0' &&
                  std::strcmp(progress, "0") != 0;

@@ -14,6 +14,8 @@
 //   VROOM_TRACE=<dir>       write one Chrome-trace JSON file per load
 //   VROOM_OUT_DIR=<dir>     export printed tables as CSV
 //   VROOM_PROGRESS=1        live stderr progress ticker for long sweeps
+//   VROOM_DEPLOY_ARRIVALS=<n>      cap arrivals per deployment load level
+//   VROOM_DEPLOY_WINDOW_HOURS=<n>  override the deployment traffic window
 #pragma once
 
 #include <algorithm>
@@ -28,6 +30,10 @@ struct Env {
   std::string trace_dir;         // VROOM_TRACE; empty = tracing off
   std::string out_dir;           // VROOM_OUT_DIR; empty = no CSV export
   bool progress = false;         // VROOM_PROGRESS; off unless set and != "0"
+  // Deployment-scale simulation (src/deploy/). Both 0 = unset: the scenario
+  // keeps its configured window and the population is never truncated.
+  int deploy_arrivals = 0;       // VROOM_DEPLOY_ARRIVALS; 0 = uncapped
+  int deploy_window_hours = 0;   // VROOM_DEPLOY_WINDOW_HOURS; 0 = default
 
   // Parses the environment afresh (never cached: scoped setenv in tests and
   // long-lived tools both see the current values).

@@ -17,6 +17,7 @@ const char* layer_name(Layer layer) {
     case Layer::Server: return "server";
     case Layer::Vroom: return "vroom";
     case Layer::Cache: return "cache";
+    case Layer::Deploy: return "deploy";
   }
   return "unknown";
 }

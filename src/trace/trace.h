@@ -34,7 +34,7 @@ namespace vroom::trace {
 
 // Which subsystem emitted the event; becomes the Chrome-trace category.
 enum class Layer : std::uint8_t { Sim, Net, Http, Browser, Server, Vroom,
-                                  Cache };
+                                  Cache, Deploy };
 
 const char* layer_name(Layer layer);
 

@@ -469,6 +469,85 @@ TEST(Trace, PushDecisionEventsCarryConfiguredPolicy) {
   EXPECT_EQ(decisions_with_policy(core::PushSelection::None), 0);
 }
 
+// Pulls a string arg out of a pre-rendered `"k":"v",...` args fragment;
+// empty when the key is absent.
+std::string event_arg(const trace::Recorder::Event& ev,
+                      const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = ev.args_json.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + needle.size();
+  const std::size_t end = ev.args_json.find('"', start);
+  return end == std::string::npos ? std::string()
+                                  : ev.args_json.substr(start, end - start);
+}
+
+// Integer arg out of the same fragment (`"k":v`); nullopt when absent.
+std::optional<std::int64_t> event_arg_int(const trace::Recorder::Event& ev,
+                                          const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = ev.args_json.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  return std::stoll(ev.args_json.substr(at + needle.size()));
+}
+
+// Causality invariants of the staged Vroom scheduler, checked on the real
+// event stream of a full load: stages only advance forward one step at a
+// time, no URL is requested twice (hints are consumed at most once), and
+// every request is preceded by the event that could have caused it — its
+// discovery for parser fetches, a hint delivery for hint fetches.
+TEST(Trace, SchedulerStageInvariantsHoldOnFullLoad) {
+  ScopedEnv trace_env("VROOM_TRACE", nullptr);
+  const web::PageModel page = web::generate_page(42, 7, web::PageClass::News);
+  std::vector<trace::Recorder::Event> events;
+  harness::RunOptions opt = traced_options(nullptr, &events, nullptr);
+  const auto r = harness::run_page_load(page, baselines::vroom(), opt, 1);
+  ASSERT_TRUE(r.finished);
+
+  int last_stage = 0;
+  int stage_advances = 0;
+  sim::Time first_hints_received = sim::kNever;
+  std::map<std::string, sim::Time> discovered;
+  std::set<std::string> requested;
+  int hint_requests = 0;
+  for (const auto& ev : events) {  // sorted_events(): ts-ordered
+    if (ev.name == "stage_advance") {
+      const auto from = event_arg_int(ev, "from");
+      const auto to = event_arg_int(ev, "to");
+      ASSERT_TRUE(from.has_value() && to.has_value());
+      EXPECT_EQ(*from + 1, *to) << "stage skipped";
+      EXPECT_EQ(*from, last_stage) << "stage regressed or skipped";
+      last_stage = static_cast<int>(*to);
+      ++stage_advances;
+    } else if (ev.name == "hints.received") {
+      first_hints_received = std::min(first_hints_received, ev.ts);
+    } else if (ev.name == "discover") {
+      const std::string url = event_arg(ev, "url");
+      ASSERT_FALSE(url.empty());
+      if (!discovered.count(url)) discovered[url] = ev.ts;
+    } else if (ev.name == "request") {
+      const std::string url = event_arg(ev, "url");
+      ASSERT_FALSE(url.empty());
+      EXPECT_TRUE(requested.insert(url).second)
+          << url << " requested twice (hint consumed more than once?)";
+      const std::string reason = event_arg(ev, "reason");
+      if (reason == "parser") {
+        ASSERT_TRUE(discovered.count(url)) << url << " fetched undiscovered";
+        EXPECT_LE(discovered[url], ev.ts);
+      } else if (reason == "hint") {
+        ++hint_requests;
+        EXPECT_NE(first_hints_received, sim::kNever)
+            << url << " hint-fetched before any hints arrived";
+        EXPECT_LE(first_hints_received, ev.ts);
+      }
+    }
+  }
+  // The invariants must have had something to bite on: a Vroom load stages
+  // through the pipeline and fetches at least some resources via hints.
+  EXPECT_GT(stage_advances, 0);
+  EXPECT_GT(hint_requests, 0);
+}
+
 TEST(Waterfall, TableListsRequestsInOrder) {
   ScopedEnv trace_env("VROOM_TRACE", nullptr);
   const web::PageModel page = web::generate_page(42, 3, web::PageClass::News);
