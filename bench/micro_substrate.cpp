@@ -14,8 +14,11 @@
 #include "baselines/strategies.h"
 #include "core/accuracy.h"
 #include "core/offline_resolver.h"
+#include "harness/env.h"
 #include "harness/experiment.h"
 #include "net/tcp.h"
+#include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "web/page_generator.h"
 
 namespace {
@@ -156,4 +159,25 @@ BENCHMARK(BM_AccuracyMeasurement);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): flips the obs gates from the
+// environment before the benchmarks run, then records the metrics snapshot
+// (VROOM_METRICS=<dir>) and phase-profile table (VROOM_PROFILE=1) that
+// scripts/bench_substrate.sh archives next to BENCH_substrate.json.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  namespace obs = vroom::obs;
+  const vroom::harness::Env env = vroom::harness::Env::from_environment();
+  obs::set_metrics_enabled(env.metrics_enabled());
+  obs::set_profiling_enabled(env.profile);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (env.profile) {
+    // No external worker-time measurement here; 0 skips the coverage line.
+    std::fputs(
+        obs::format_phase_profile(obs::collect_phase_profile(), 0.0).c_str(),
+        stderr);
+  }
+  if (env.metrics_enabled()) obs::registry().export_to(env.metrics_dir);
+  return 0;
+}

@@ -35,8 +35,13 @@ fi
 filter="${VROOM_BENCH_FILTER:-.}"
 min_time="${VROOM_BENCH_MIN_TIME:-0.5}"
 
+# Metrics snapshot (obs registry CSV/Prometheus export + wall sidecar)
+# recorded next to the JSON report, so a committed baseline carries its
+# quantitative context. Override by exporting VROOM_METRICS yourself.
+metrics_dir="${VROOM_METRICS:-${out_file%.json}_metrics}"
+
 # Note: the bundled google-benchmark predates the "0.5s" suffix syntax.
-"$bench_bin" \
+VROOM_METRICS="$metrics_dir" "$bench_bin" \
   --benchmark_filter="$filter" \
   --benchmark_min_time="$min_time" \
   --benchmark_format=console \
@@ -45,3 +50,4 @@ min_time="${VROOM_BENCH_MIN_TIME:-0.5}"
 
 echo
 echo "JSON report: $out_file"
+echo "metrics snapshot: $metrics_dir"

@@ -33,7 +33,10 @@ changed=$(git diff --name-only "${base}" -- 2>/dev/null)
 
 # deploy/ is included because front-end behavior (hint staleness, queueing)
 # parameterizes the strategies and options whose LoadResults get cached.
-sim_layers='^src/(sim|net|http|browser|server|web|core|baselines|deploy)/'
+# obs/ is included because instrumentation sits inside the simulated load
+# path (phase spans in run_page_load): any behavioural slip there would
+# change exactly the results the cache stores.
+sim_layers='^src/(sim|net|http|browser|server|web|core|baselines|deploy|obs)/'
 sim_changed=$(printf '%s\n' "${changed}" | grep -E "${sim_layers}" || true)
 
 if [ -z "${sim_changed}" ]; then

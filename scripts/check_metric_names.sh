@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Lints obs metric registrations (DESIGN.md §12).
+#
+# Scans src/, bench/, and examples/ for string literals passed to
+# obs::registry().counter("...") / .gauge("...") / .histogram("...") and
+# enforces two rules the registry can only check at runtime:
+#
+#   1. names follow `layer.subsystem.name`: three or more dot-separated
+#      segments of [a-z0-9_]+ (the registry aborts on violation, but only
+#      when the site actually executes — this catches cold paths too);
+#   2. every name is registered from exactly one source file: the same
+#      name recorded from two places would silently merge two meanings
+#      into one exported series.
+#
+# Runs as the `check_metric_names` ctest (label: lint). Exit 0 = clean.
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+# `file:name` lines for every registration literal. The grep deliberately
+# keys on the method names so helper wrappers that forward a variable are
+# invisible to it — registration sites must use literals to be auditable.
+sites=$(grep -RnoE '\.(counter|gauge|histogram)\("[^"]+"' \
+            src bench examples --include='*.cpp' --include='*.h' 2>/dev/null |
+        sed -E 's/:[0-9]+:\.(counter|gauge|histogram)\("/:/; s/"$//')
+
+if [ -z "${sites}" ]; then
+  echo "[check_metric_names] no registration sites found; ok"
+  exit 0
+fi
+
+status=0
+
+# Rule 1: naming convention.
+bad_names=$(printf '%s\n' "${sites}" | cut -d: -f2- |
+            grep -vE '^[a-z0-9_]+(\.[a-z0-9_]+){2,}$' || true)
+if [ -n "${bad_names}" ]; then
+  echo "[check_metric_names] names violating layer.subsystem.name" \
+       "(>=3 lowercase dot segments):" >&2
+  printf '%s\n' "${sites}" | while IFS=: read -r file name; do
+    if ! printf '%s' "${name}" | grep -qE '^[a-z0-9_]+(\.[a-z0-9_]+){2,}$'
+    then
+      echo "  ${name}  (${file})" >&2
+    fi
+  done
+  status=1
+fi
+
+# Rule 2: one registration site per name (same file registering a name
+# twice is fine — function-local static handles re-run their initializer
+# expression zero times, but helpers may mention the literal once only).
+dup_names=$(printf '%s\n' "${sites}" | sort -u -t: -k1,1 -k2 |
+            cut -d: -f2- | sort | uniq -d)
+if [ -n "${dup_names}" ]; then
+  echo "[check_metric_names] names registered from more than one file:" >&2
+  for name in ${dup_names}; do
+    printf '%s\n' "${sites}" | grep -F ":${name}" |
+      sed 's/^/  /' >&2
+  done
+  status=1
+fi
+
+if [ "${status}" -eq 0 ]; then
+  count=$(printf '%s\n' "${sites}" | cut -d: -f2- | sort -u | wc -l)
+  echo "[check_metric_names] ${count} metric names ok"
+fi
+exit "${status}"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <utility>
@@ -10,8 +11,12 @@
 #include "core/accuracy.h"
 #include "fleet/fleet.h"
 #include "harness/env.h"
+#include "harness/result_cache.h"
 #include "harness/stats.h"
 #include "net/link.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "sim/event_loop.h"
 #include "sim/random.h"
 #include "trace/trace.h"
@@ -46,6 +51,23 @@ struct PageProfile {
   std::int64_t total_bytes = 0;
   double warm_bytes_frac = 1.0;
 };
+
+// Per-arrival macro metrics (DESIGN.md §12). The macro pass is serial and a
+// pure function of the simulated world, so everything recorded here lives
+// on the virtual plane and survives the cross-VROOM_JOBS byte-identity
+// check on the export.
+void record_arrival_metrics(sim::Time origin_wait, sim::Time fe_wait) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Histogram& origin_wait_us =
+      obs::registry().histogram("deploy.macro.origin_wait_us");
+  static obs::Histogram& fe_wait_us =
+      obs::registry().histogram("deploy.frontend.queue_wait_us");
+  static obs::Gauge& max_wait =
+      obs::registry().gauge("deploy.links.max_wait_us");
+  origin_wait_us.record(origin_wait);
+  fe_wait_us.record(fe_wait);
+  max_wait.set_max(origin_wait);
+}
 
 }  // namespace
 
@@ -232,6 +254,11 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
     level.offered_per_sec = cfg.offered_levels[li];
     level.arrivals = static_cast<std::int64_t>(arrivals.size());
     double origin_wait_sum_s = 0;
+    // This level's PLTs through the shared log-linear bucketing — the same
+    // boundaries every metrics export uses. Recorded unconditionally: the
+    // histogram-derived report percentiles are deterministic level facts,
+    // not opt-in telemetry.
+    obs::Histogram level_hist;
 
     for (const Arrival& a : arrivals) {
       loop.schedule_at(a.at, [&, a] {
@@ -264,13 +291,29 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
           const auto tx_bytes = static_cast<std::int64_t>(
               a.warm ? static_cast<double>(bytes) * prof.warm_bytes_frac
                      : static_cast<double>(bytes));
-          if (tx_bytes > 0) link.transmit(tx_bytes, [] {});
+          if (tx_bytes > 0) {
+            // Emit the transmission's full FIFO story for the macro-trace
+            // auditor: when it joined the queue, when the link actually
+            // started it, and how long it held the link.
+            const sim::Time start = std::max(now, link.busy_until());
+            const sim::Time tx = link.tx_time(tx_bytes);
+            link.transmit(tx_bytes, [] {});
+            if (recorder != nullptr) {
+              recorder->instant(
+                  trace::Layer::Deploy, domain, "tx", "deploy.origin_tx",
+                  {trace::arg("enqueue_us", now),
+                   trace::arg("start_us", start), trace::arg("tx_us", tx),
+                   trace::arg("bytes", tx_bytes)});
+            }
+          }
         }
 
         const sim::Time plt =
             capped(base + d.queue_wait + origin_wait, cfg.micro.timeout);
         if (plt >= cfg.micro.timeout) level.timeouts += 1;
         level.plt_seconds.push_back(sim::to_seconds(plt));
+        level_hist.record(plt);
+        record_arrival_metrics(origin_wait, d.queue_wait);
         // A user gives up at the timeout, so the experienced wait caps there
         // too — otherwise day-long overload queues dominate the mean.
         origin_wait_sum_s +=
@@ -289,6 +332,19 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
     }
     loop.run();
 
+    if (recorder != nullptr) {
+      // One closing summary per origin, from the link's own accounting —
+      // the auditor cross-checks it against the per-transmission events.
+      // `links` is an ordered map, so emission order is deterministic.
+      for (const auto& [domain, link] : links) {
+        recorder->instant(trace::Layer::Deploy, domain, "summary",
+                          "deploy.link_summary",
+                          {trace::arg("busy_us", link->busy_time()),
+                           trace::arg("bytes", link->total_bytes()),
+                           trace::arg("now_us", loop.now())});
+      }
+    }
+
     // Truncated streams (VROOM_DEPLOY_ARRIVALS) end early; rate math uses
     // the time actually covered, not the configured window.
     const bool truncated =
@@ -300,8 +356,15 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
     const std::int64_t completed = level.arrivals - level.timeouts;
     level.served_per_sec =
         window_s > 0 ? static_cast<double>(completed) / window_s : 0.0;
-    level.p50_plt_s = harness::percentile(level.plt_seconds, 50);
-    level.p99_plt_s = harness::percentile(level.plt_seconds, 99);
+    // One sort serves both exact percentiles (values unchanged: same
+    // interpolation as the old per-call sorts); the histogram read-back
+    // answers within one log-linear bucket width of them.
+    std::vector<double> sorted_plt = level.plt_seconds;
+    std::sort(sorted_plt.begin(), sorted_plt.end());
+    level.p50_plt_s = harness::percentile_sorted(sorted_plt, 50);
+    level.p99_plt_s = harness::percentile_sorted(sorted_plt, 99);
+    level.hist_p50_plt_s = level_hist.percentile(50) / 1e6;
+    level.hist_p99_plt_s = level_hist.percentile(99) / 1e6;
     level.mean_origin_wait_s =
         level.arrivals > 0
             ? origin_wait_sum_s / static_cast<double>(level.arrivals)
@@ -325,6 +388,22 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
     for (const auto& [domain, link] : links) {
       level.max_link_utilization =
           std::max(level.max_link_utilization, link->utilization());
+    }
+    if (obs::metrics_enabled()) {
+      obs::Registry& reg = obs::registry();
+      reg.histogram("deploy.macro.plt_us").merge(level_hist);
+      reg.counter("deploy.macro.arrivals").add(level.arrivals);
+      reg.counter("deploy.macro.timeouts").add(level.timeouts);
+      reg.counter("deploy.frontend.cache_hits").add(fs.cache_hits);
+      reg.counter("deploy.frontend.cache_misses").add(fs.cache_misses);
+      reg.counter("deploy.frontend.stale_serves").add(fs.stale_serves);
+      reg.counter("deploy.frontend.hintless_serves")
+          .add(fs.hintless_serves);
+      for (const auto& [domain, link] : links) {
+        reg.histogram("deploy.links.utilization_permille")
+            .record(static_cast<std::int64_t>(link->utilization() * 1000.0 +
+                                              0.5));
+      }
     }
     report.levels.push_back(std::move(level));
     if (cfg.trace_sink && recorder != nullptr) {
@@ -357,6 +436,43 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
     }
     row.mean_micro_plt_s = n > 0 ? sum / static_cast<double>(n) : 0.0;
     report.stale_buckets.push_back(row);
+  }
+
+  // Re-export with the macro metrics folded in (the fleet's mid-run export
+  // only covered the micro pass) and write the scenario's own provenance
+  // record next to it.
+  if (env.metrics_enabled()) {
+    obs::PhaseTimer export_phase(obs::Phase::Export);
+    obs::registry().export_to(env.metrics_dir);
+    const auto hex = [](std::uint64_t v) {
+      char buf[17];
+      std::snprintf(buf, sizeof buf, "%016llx",
+                    static_cast<unsigned long long>(v));
+      return std::string(buf);
+    };
+    char mbps[64];
+    std::snprintf(mbps, sizeof mbps, "%.17g", report.origin_link_mbps);
+    obs::Manifest manifest;
+    manifest.set("schema", std::int64_t{1});
+    manifest.set("kind", "deploy_scenario");
+    manifest.set("seed", static_cast<std::uint64_t>(cfg.seed));
+    manifest.set("pages", static_cast<std::int64_t>(pages));
+    manifest.set("devices", static_cast<std::int64_t>(mix.size()));
+    manifest.set("levels",
+                 static_cast<std::int64_t>(cfg.offered_levels.size()));
+    manifest.set("window_us", static_cast<std::int64_t>(report.window));
+    manifest.set("origin_link_mbps", std::string(mbps));
+    manifest.set("env.deploy_arrivals",
+                 static_cast<std::int64_t>(env.deploy_arrivals));
+    manifest.set("env.deploy_window_hours",
+                 static_cast<std::int64_t>(env.deploy_window_hours));
+    manifest.set("result_cache_salt_version",
+                 static_cast<std::int64_t>(harness::kResultCacheSaltVersion));
+    manifest.set("digest.metrics_prom",
+                 hex(obs::registry().digest(obs::Plane::Virtual)));
+    manifest.set("digest.wall_sidecar_prom",
+                 hex(obs::registry().digest(obs::Plane::Wall)));
+    manifest.write(env.metrics_dir + "/deploy_manifest.json");
   }
 
   return report;

@@ -95,6 +95,12 @@ struct LevelReport {
   double served_per_sec = 0;    // completed loads / window
   double p50_plt_s = 0;
   double p99_plt_s = 0;
+  // The same percentiles read back from the level's obs::Histogram of PLT
+  // microseconds — the log-linear bucketing every metrics export uses.
+  // Agrees with the exact values above to within one bucket width (~3%
+  // relative); tests/obs_test.cpp asserts the bound.
+  double hist_p50_plt_s = 0;
+  double hist_p99_plt_s = 0;
   double mean_origin_wait_s = 0;  // per-load worst origin queueing delay
   double mean_fe_wait_ms = 0;     // synchronous hint-path wait
   double max_link_utilization = 0;

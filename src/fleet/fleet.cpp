@@ -12,6 +12,9 @@
 #include "harness/env.h"
 #include "harness/export.h"
 #include "harness/result_cache.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 
 namespace vroom::fleet {
 
@@ -50,10 +53,37 @@ class ProgressTicker {
       return;
     }
     const std::size_t done = telemetry_.jobs_completed();
+    const std::size_t total = queue_.size();
+    const std::size_t cached = telemetry_.jobs_from_cache();
     const double elapsed = now - start_;
-    std::fprintf(stderr, "\r[fleet] %zu/%zu jobs (%zu unclaimed), %.1f jobs/s",
-                 done, queue_.size(), queue_.remaining(),
-                 elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0);
+    const double rate =
+        elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0;
+    // ETA from the running rate; "--" until the first job lands. Cache hits
+    // make the estimate conservative (hits are faster than the average).
+    char eta[32];
+    if (rate > 0 && done <= total) {
+      const double left = static_cast<double>(total - done) / rate;
+      if (left >= 3600) {
+        std::snprintf(eta, sizeof eta, "%.1fh", left / 3600);
+      } else if (left >= 60) {
+        std::snprintf(eta, sizeof eta, "%.1fm", left / 60);
+      } else {
+        std::snprintf(eta, sizeof eta, "%.0fs", left);
+      }
+    } else {
+      std::snprintf(eta, sizeof eta, "--");
+    }
+    // Trailing spaces scrub leftovers when this line is shorter than the
+    // previous redraw.
+    std::fprintf(stderr,
+                 "\r[fleet] %zu/%zu jobs (%zu unclaimed), %.1f jobs/s, "
+                 "%.0f%% cached, ETA %s   ",
+                 done, total, queue_.remaining(), rate,
+                 done > 0
+                     ? 100.0 * static_cast<double>(cached) /
+                           static_cast<double>(done)
+                     : 0.0,
+                 eta);
     std::fflush(stderr);
     printed_ = true;
   }
@@ -62,7 +92,9 @@ class ProgressTicker {
   // count and ends it with a newline.
   void finish() {
     if (!enabled_ || !printed_) return;
-    std::fprintf(stderr, "\r[fleet] %zu/%zu jobs done                    \n",
+    std::fprintf(stderr,
+                 "\r[fleet] %zu/%zu jobs done"
+                 "                                                  \n",
                  telemetry_.jobs_completed(), queue_.size());
   }
 
@@ -85,6 +117,34 @@ struct CompiledCell {
   std::string label;
 };
 
+// Per-job metric recording (DESIGN.md §12). Job totals, cache hits, and the
+// summed virtual time are commutative adds, so the virtual-plane export is
+// byte-identical at any VROOM_JOBS; the job wall-time distribution is
+// nondeterministic by nature and goes to the wall sidecar.
+void record_job_metrics(const browser::LoadResult& result, bool from_cache,
+                        double wall_seconds) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& completed =
+      obs::registry().counter("fleet.jobs.completed");
+  static obs::Counter& cached =
+      obs::registry().counter("fleet.jobs.from_cache");
+  static obs::Counter& virtual_us =
+      obs::registry().counter("fleet.sim.virtual_us");
+  static obs::Histogram& wall_us =
+      obs::registry().histogram("fleet.jobs.wall_us", obs::Plane::Wall);
+  completed.add();
+  if (from_cache) cached.add();
+  virtual_us.add(result.plt);
+  wall_us.record(static_cast<std::int64_t>(wall_seconds * 1e6));
+}
+
+std::string hex_digest(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
 }  // namespace
 
 int resolve_worker_count(int requested) {
@@ -97,6 +157,16 @@ int resolve_worker_count(int requested) {
 std::vector<harness::CorpusResult> run_plan(const SweepPlan& plan,
                                             const FleetOptions& fleet) {
   const int n_cells = static_cast<int>(plan.cells.size());
+
+  // Observability gates, flipped once per run from the environment (the obs
+  // library itself never reads env). A fresh run owns the registry and the
+  // phase tables: the export and the printed profile cover exactly this run
+  // plus whatever the caller records before the next one starts.
+  const harness::Env env = harness::Env::from_environment();
+  obs::set_metrics_enabled(env.metrics_enabled());
+  obs::set_profiling_enabled(env.profile);
+  if (env.metrics_enabled()) obs::registry().reset();
+  if (env.profile) obs::reset_phase_profile();
 
   // Compile the plan: per-cell extents and flat result-grid offsets. Each
   // cell may bring its own loads_per_page / options, so offsets accumulate.
@@ -167,6 +237,11 @@ std::vector<harness::CorpusResult> run_plan(const SweepPlan& plan,
                       static_cast<std::size_t>(cc.loads)});
   }
   telemetry->begin_run(workers, queue.size(), std::move(cell_plans));
+  if (env.metrics_enabled()) {
+    obs::registry()
+        .gauge("fleet.run.workers", obs::Plane::Wall)
+        .set_max(workers);
+  }
   ProgressTicker ticker(queue, *telemetry);
 
   // Opt-in result cache (VROOM_RESULT_CACHE=<dir>): identical jobs from
@@ -212,6 +287,7 @@ std::vector<harness::CorpusResult> run_plan(const SweepPlan& plan,
       bool from_cache = false;
       std::string key;
       if (cache != nullptr && cell_cacheable) {
+        obs::PhaseTimer lookup_phase(obs::Phase::CacheLookup);
         key = harness::result_cache_key(cell.strategy, cell.options,
                                         page.page_id(), nonce);
         if (std::optional<browser::LoadResult> hit = cache->get(key)) {
@@ -223,12 +299,17 @@ std::vector<harness::CorpusResult> run_plan(const SweepPlan& plan,
       if (!from_cache) {
         result = harness::run_page_load(page, cell.strategy, cell.options,
                                         nonce);
-        if (cache != nullptr && cell_cacheable) cache->put(key, result);
+        if (cache != nullptr && cell_cacheable) {
+          obs::PhaseTimer store_phase(obs::Phase::CacheStore);
+          cache->put(key, result);
+        }
       }
+      const double job_seconds = monotonic_seconds() - started;
+      record_job_metrics(result, from_cache, job_seconds);
       const sim::Time simulated = result.plt;
       grid[slot(*job)] = std::move(result);
-      telemetry->job_finished(worker_id, job->cell_index,
-                              monotonic_seconds() - started, simulated);
+      telemetry->job_finished(worker_id, job->cell_index, job_seconds,
+                              simulated);
       ticker.tick();
     }
   };
@@ -258,6 +339,59 @@ std::vector<harness::CorpusResult> run_plan(const SweepPlan& plan,
                  static_cast<unsigned long long>(cs.misses),
                  static_cast<unsigned long long>(cs.stores),
                  static_cast<unsigned long long>(cs.errors));
+  }
+  if (env.profile) {
+    // Collected after the pool joins: every worker's thread-local table has
+    // folded into the retired aggregate, so the table partitions the run's
+    // whole worker time. Stderr only — stdout stays frozen.
+    std::fputs(obs::format_phase_profile(
+                   obs::collect_phase_profile(),
+                   telemetry->summary().busy_seconds_total)
+                   .c_str(),
+               stderr);
+  }
+  if (env.metrics_enabled()) {
+    obs::PhaseTimer export_phase(obs::Phase::Export);
+    obs::registry().export_to(env.metrics_dir);
+    obs::Manifest manifest;
+    manifest.set("schema", std::int64_t{1});
+    manifest.set("kind", "fleet_sweep");
+    manifest.set("env.jobs", static_cast<std::int64_t>(env.jobs));
+    manifest.set("env.bench_pages",
+                 static_cast<std::int64_t>(env.bench_pages));
+    manifest.set("env.result_cache", env.result_cache_dir);
+    manifest.set("env.trace", env.trace_dir);
+    manifest.set("env.out_dir", env.out_dir);
+    manifest.set("env.metrics", env.metrics_dir);
+    manifest.set("env.profile", std::int64_t{env.profile ? 1 : 0});
+    manifest.set("env.progress", std::int64_t{env.progress ? 1 : 0});
+    manifest.set("env.deploy_arrivals",
+                 static_cast<std::int64_t>(env.deploy_arrivals));
+    manifest.set("env.deploy_window_hours",
+                 static_cast<std::int64_t>(env.deploy_window_hours));
+    manifest.set("result_cache_salt_version",
+                 static_cast<std::int64_t>(harness::kResultCacheSaltVersion));
+    manifest.set("workers", static_cast<std::int64_t>(workers));
+    manifest.set("jobs.total", static_cast<std::uint64_t>(total_jobs));
+    manifest.set("jobs.from_cache",
+                 static_cast<std::uint64_t>(telemetry->jobs_from_cache()));
+    manifest.set("cells", static_cast<std::int64_t>(n_cells));
+    for (int c = 0; c < n_cells; ++c) {
+      const SweepCell& cell = plan.cells[static_cast<std::size_t>(c)];
+      const CompiledCell& cc = cells[static_cast<std::size_t>(c)];
+      const std::string prefix = "cell." + std::to_string(c) + ".";
+      manifest.set(prefix + "label", cc.label);
+      manifest.set(prefix + "fingerprint", cell.strategy.fingerprint());
+      manifest.set(prefix + "seed",
+                   static_cast<std::uint64_t>(cell.options.seed));
+      manifest.set(prefix + "pages", static_cast<std::int64_t>(cc.pages));
+      manifest.set(prefix + "loads", static_cast<std::int64_t>(cc.loads));
+    }
+    manifest.set("digest.metrics_prom",
+                 hex_digest(obs::registry().digest(obs::Plane::Virtual)));
+    manifest.set("digest.wall_sidecar_prom",
+                 hex_digest(obs::registry().digest(obs::Plane::Wall)));
+    manifest.write(env.metrics_dir + "/manifest.json");
   }
 
   // Median selection in load-index order, identical to run_page_median;

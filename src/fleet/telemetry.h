@@ -82,6 +82,9 @@ class Telemetry {
   std::size_t jobs_completed() const {
     return completed_.load(std::memory_order_relaxed);
   }
+  std::size_t jobs_from_cache() const {
+    return from_cache_.load(std::memory_order_relaxed);
+  }
 
   // Aggregates. Only valid once the pool has joined (no concurrent writers).
   TelemetrySummary summary() const;

@@ -46,6 +46,10 @@ Env Env::from_environment() {
   const char* progress = std::getenv("VROOM_PROGRESS");
   env.progress = progress != nullptr && *progress != '\0' &&
                  std::strcmp(progress, "0") != 0;
+  env.metrics_dir = string_or_empty(std::getenv("VROOM_METRICS"));
+  const char* profile = std::getenv("VROOM_PROFILE");
+  env.profile = profile != nullptr && *profile != '\0' &&
+                std::strcmp(profile, "0") != 0;
   return env;
 }
 

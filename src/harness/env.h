@@ -14,6 +14,10 @@
 //   VROOM_TRACE=<dir>       write one Chrome-trace JSON file per load
 //   VROOM_OUT_DIR=<dir>     export printed tables as CSV
 //   VROOM_PROGRESS=1        live stderr progress ticker for long sweeps
+//   VROOM_METRICS=<dir>     export obs metrics (CSV + Prometheus text) and
+//                           run manifests after each fleet/deploy run
+//   VROOM_PROFILE=1         print the wall-clock phase-profile table after
+//                           each fleet run (stderr; nondeterministic)
 //   VROOM_DEPLOY_ARRIVALS=<n>      cap arrivals per deployment load level
 //   VROOM_DEPLOY_WINDOW_HOURS=<n>  override the deployment traffic window
 #pragma once
@@ -30,6 +34,8 @@ struct Env {
   std::string trace_dir;         // VROOM_TRACE; empty = tracing off
   std::string out_dir;           // VROOM_OUT_DIR; empty = no CSV export
   bool progress = false;         // VROOM_PROGRESS; off unless set and != "0"
+  std::string metrics_dir;       // VROOM_METRICS; empty = metrics off
+  bool profile = false;          // VROOM_PROFILE; off unless set and != "0"
   // Deployment-scale simulation (src/deploy/). Both 0 = unset: the scenario
   // keeps its configured window and the population is never truncated.
   int deploy_arrivals = 0;       // VROOM_DEPLOY_ARRIVALS; 0 = uncapped
@@ -40,6 +46,7 @@ struct Env {
   static Env from_environment();
 
   bool trace_enabled() const { return !trace_dir.empty(); }
+  bool metrics_enabled() const { return !metrics_dir.empty(); }
 
   // Applies the VROOM_BENCH_PAGES cap to a corpus of `n` pages; the cap
   // never raises a count, only lowers it.

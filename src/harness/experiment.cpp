@@ -9,6 +9,7 @@
 #include "harness/export.h"
 #include "harness/stats.h"
 #include "http/connection_pool.h"
+#include "obs/phase_profiler.h"
 #include "server/origin_server.h"
 #include "sim/random.h"
 #include "trace/trace.h"
@@ -23,6 +24,12 @@ browser::LoadResult run_page_load(const web::PageModel& page,
                                   const baselines::Strategy& strategy,
                                   const RunOptions& options,
                                   std::uint64_t nonce) {
+  // Wall-clock phase attribution (VROOM_PROFILE / DESIGN.md §12): the outer
+  // span charges everything in this function to world-build except the
+  // nested intern / sim / trace-flush spans, whose time is subtracted by
+  // the profiler's self-time accounting. Virtual-time behaviour is
+  // identical with profiling on or off.
+  obs::PhaseTimer build_phase(obs::Phase::WorldBuild);
   // Pooled: reuses a thread-local EventLoop's heap/slab backing storage
   // across the thousands of loads a worker runs, instead of reallocating it
   // from scratch per load.
@@ -46,7 +53,14 @@ browser::LoadResult run_page_load(const web::PageModel& page,
   ident.device = options.device;
   ident.user = options.user;
   ident.nonce = nonce;
-  const web::PageInstance instance(page, ident);
+  std::optional<web::PageInstance> instance_storage;
+  {
+    // Instance realization is the parse-and-intern phase: resource
+    // rotation, URL/domain interning, per-load tables.
+    obs::PhaseTimer intern_phase(obs::Phase::Intern);
+    instance_storage.emplace(page, ident);
+  }
+  const web::PageInstance& instance = *instance_storage;
 
   server::ReplayStore store(instance);
   server::ServerFarm farm(store);
@@ -113,7 +127,11 @@ browser::LoadResult run_page_load(const web::PageModel& page,
   browser::Browser browser(network, pool, instance, lc);
   browser_ptr = &browser;
   browser.start();
-  const std::size_t executed = loop.run(options.timeout);
+  std::size_t executed = 0;
+  {
+    obs::PhaseTimer sim_phase(obs::Phase::Sim);
+    executed = loop.run(options.timeout);
+  }
 
   browser::LoadResult result = browser.result();
   result.sim_events = static_cast<std::int64_t>(executed);
@@ -123,6 +141,7 @@ browser::LoadResult run_page_load(const web::PageModel& page,
     result.aft = options.timeout;
   }
   if (recorder) {
+    obs::PhaseTimer flush_phase(obs::Phase::TraceFlush);
     const auto& values = recorder->counters().values();
     result.trace_counters.assign(values.begin(), values.end());
     if (options.trace_sink) options.trace_sink(*recorder);

@@ -12,6 +12,7 @@
 
 #include "harness/env.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "sim/random.h"
 
 namespace vroom::harness {
@@ -19,6 +20,26 @@ namespace vroom::harness {
 namespace {
 
 constexpr char kMagic[4] = {'V', 'R', 'C', '1'};
+
+// Registry mirrors of the per-cache stats (DESIGN.md §12). Counters add,
+// so the totals stay order-independent however fleet workers interleave;
+// handles are cached once — registration never sits on the hot path.
+void count_cache_event(const char* which) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& hits = obs::registry().counter("cache.result.hits");
+  static obs::Counter& misses =
+      obs::registry().counter("cache.result.misses");
+  static obs::Counter& stores =
+      obs::registry().counter("cache.result.stores");
+  static obs::Counter& errors =
+      obs::registry().counter("cache.result.errors");
+  switch (which[0]) {
+    case 'h': hits.add(); break;
+    case 'm': misses.add(); break;
+    case 's': stores.add(); break;
+    case 'e': errors.add(); break;
+  }
+}
 
 // Canonical text for the profiles folded into the key. Exhaustive field
 // lists: a knob that is not here would silently alias two different worlds.
@@ -101,6 +122,7 @@ std::optional<browser::LoadResult> ResultCache::get(const std::string& key) {
   std::ifstream f(path_for(key), std::ios::binary);
   if (!f) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    count_cache_event("miss");
     return std::nullopt;
   }
   std::ostringstream buf;
@@ -109,6 +131,8 @@ std::optional<browser::LoadResult> ResultCache::get(const std::string& key) {
   const auto corrupt = [this]() -> std::optional<browser::LoadResult> {
     errors_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
+    count_cache_event("error");
+    count_cache_event("miss");
     return std::nullopt;
   };
   if (bytes.size() < sizeof kMagic + 4 ||
@@ -135,6 +159,7 @@ std::optional<browser::LoadResult> ResultCache::get(const std::string& key) {
     return corrupt();
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  count_cache_event("hit");
   return result;
 }
 
@@ -184,6 +209,7 @@ void ResultCache::put(const std::string& key,
     return;
   }
   stores_.fetch_add(1, std::memory_order_relaxed);
+  count_cache_event("store");
 }
 
 ResultCacheStats ResultCache::stats() const {

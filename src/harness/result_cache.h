@@ -38,7 +38,7 @@ namespace vroom::harness {
 // Code-version salt folded into every cache key. Bump on ANY change that can
 // alter simulated results (browser model, network model, seed derivation,
 // LoadResult fields, ...) so stale entries miss instead of lying.
-inline constexpr int kResultCacheSaltVersion = 3;
+inline constexpr int kResultCacheSaltVersion = 4;
 
 // Canonical key string for one (strategy, options, page, load-nonce) job.
 // Human-readable on purpose: it is embedded in cache files for verification

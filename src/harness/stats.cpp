@@ -6,15 +6,19 @@
 namespace vroom::harness {
 
 double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0;
   std::sort(values.begin(), values.end());
-  if (values.size() == 1) return values[0];
+  return percentile_sorted(values, p);
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
   const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
-                      static_cast<double>(values.size() - 1);
+                      static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
   const auto hi = static_cast<std::size_t>(std::ceil(rank));
   const double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 double median(std::vector<double> values) {

@@ -9,6 +9,10 @@ namespace vroom::harness {
 double percentile(std::vector<double> values, double p);
 double median(std::vector<double> values);
 
+// Same interpolation over already-sorted input: callers needing several
+// percentiles of one distribution sort once instead of once per call.
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
 struct Quartiles {
   double p25 = 0, p50 = 0, p75 = 0;
 };

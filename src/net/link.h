@@ -36,6 +36,11 @@ class Link {
 
   std::int64_t total_bytes() const { return total_bytes_; }
 
+  // Total time spent transmitting so far (the numerator of utilization());
+  // equals the sum of tx_time over every transmit by construction, which
+  // the macro-trace auditor cross-checks against the event stream.
+  sim::Time busy_time() const { return busy_time_; }
+
   // Fraction of [0, now] during which the link was transmitting.
   double utilization() const;
 

@@ -1,0 +1,188 @@
+#include "obs/audit.h"
+
+#include <charconv>
+#include <cstdio>
+#include <map>
+
+namespace vroom::obs {
+
+namespace {
+
+// Extracts the integer value of `"key":<n>` from a pre-rendered args_json
+// fragment. Returns false when the key is absent or non-numeric.
+bool arg_int(const std::string& args_json, const char* key,
+             std::int64_t* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = args_json.find(needle);
+  if (at == std::string::npos) return false;
+  const char* begin = args_json.data() + at + needle.size();
+  const char* end = args_json.data() + args_json.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr != begin;
+}
+
+std::string name_of(const std::vector<std::string>& track_names, int track) {
+  if (track >= 0 && static_cast<std::size_t>(track) < track_names.size()) {
+    return track_names[static_cast<std::size_t>(track)];
+  }
+  return "track" + std::to_string(track);
+}
+
+// Running per-origin state while scanning transmissions in emission order.
+struct OriginState {
+  std::int64_t count = 0;
+  std::int64_t prev_enqueue = INT64_MIN;
+  std::int64_t prev_end = INT64_MIN;
+  std::int64_t first_start = INT64_MAX;
+  std::int64_t last_end = INT64_MIN;
+  std::int64_t tx_sum = 0;
+  std::int64_t bytes_sum = 0;
+  bool summarized = false;
+};
+
+}  // namespace
+
+std::string MacroAuditReport::to_string() const {
+  if (ok()) {
+    return "macro-trace audit ok: " + std::to_string(page_views) +
+           " page views, " + std::to_string(transmissions) +
+           " transmissions over " + std::to_string(origins) + " origins";
+  }
+  std::string out = "macro-trace audit FAILED (" +
+                    std::to_string(errors.size()) + " errors):";
+  const std::size_t cap = errors.size() < 20 ? errors.size() : 20;
+  for (std::size_t i = 0; i < cap; ++i) out += "\n  " + errors[i];
+  if (cap < errors.size()) {
+    out += "\n  ... " + std::to_string(errors.size() - cap) + " more";
+  }
+  return out;
+}
+
+MacroAuditReport audit_macro_trace(
+    const std::vector<trace::Recorder::Event>& events,
+    const std::vector<std::string>& track_names) {
+  MacroAuditReport report;
+  const auto fail = [&report](std::string what) {
+    report.errors.push_back(std::move(what));
+  };
+
+  std::int64_t prev_arrival = INT64_MIN;
+  std::map<int, OriginState> origins;  // key: track id
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const trace::Recorder::Event& e = events[i];
+    if (e.layer != trace::Layer::Deploy) continue;
+
+    if (e.name == "deploy.page_view") {
+      report.page_views += 1;
+      if (e.ts < prev_arrival) {
+        fail("arrival order violated: page_view at " + std::to_string(e.ts) +
+             "us emitted after one at " + std::to_string(prev_arrival) +
+             "us (event " + std::to_string(i) + ")");
+      }
+      prev_arrival = e.ts;
+      continue;
+    }
+
+    if (e.name == "deploy.origin_tx") {
+      report.transmissions += 1;
+      OriginState& o = origins[e.track];
+      std::int64_t enqueue = 0, start = 0, tx = 0, bytes = 0;
+      if (!arg_int(e.args_json, "enqueue_us", &enqueue) ||
+          !arg_int(e.args_json, "start_us", &start) ||
+          !arg_int(e.args_json, "tx_us", &tx) ||
+          !arg_int(e.args_json, "bytes", &bytes)) {
+        fail("origin_tx on " + name_of(track_names, e.track) +
+             " missing enqueue_us/start_us/tx_us/bytes args (event " +
+             std::to_string(i) + ")");
+        continue;
+      }
+      const std::int64_t end = start + tx;
+      if (o.count > 0) {
+        if (enqueue < o.prev_enqueue) {
+          fail("per-origin FIFO violated on " + name_of(track_names, e.track) +
+               ": transmission enqueued at " + std::to_string(enqueue) +
+               "us served after one enqueued at " +
+               std::to_string(o.prev_enqueue) + "us");
+        }
+        const std::int64_t expected_start =
+            enqueue > o.prev_end ? enqueue : o.prev_end;
+        if (start != expected_start) {
+          fail("per-origin FIFO violated on " + name_of(track_names, e.track) +
+               ": transmission starts at " + std::to_string(start) +
+               "us, expected max(enqueue " + std::to_string(enqueue) +
+               "us, link free " + std::to_string(o.prev_end) + "us)");
+        }
+      } else if (start != enqueue) {
+        fail("per-origin FIFO violated on " + name_of(track_names, e.track) +
+             ": first transmission starts at " + std::to_string(start) +
+             "us != its enqueue time " + std::to_string(enqueue) + "us");
+      }
+      o.count += 1;
+      o.prev_enqueue = enqueue;
+      o.prev_end = end;
+      if (start < o.first_start) o.first_start = start;
+      if (end > o.last_end) o.last_end = end;
+      o.tx_sum += tx;
+      o.bytes_sum += bytes;
+      continue;
+    }
+
+    if (e.name == "deploy.link_summary") {
+      OriginState& o = origins[e.track];
+      o.summarized = true;
+      std::int64_t busy = 0, bytes = 0, now = 0;
+      if (!arg_int(e.args_json, "busy_us", &busy) ||
+          !arg_int(e.args_json, "bytes", &bytes) ||
+          !arg_int(e.args_json, "now_us", &now)) {
+        fail("link_summary on " + name_of(track_names, e.track) +
+             " missing busy_us/bytes/now_us args (event " +
+             std::to_string(i) + ")");
+        continue;
+      }
+      if (busy != o.tx_sum) {
+        fail("utilization conservation violated on " +
+             name_of(track_names, e.track) + ": link reports " +
+             std::to_string(busy) + "us busy but transmissions sum to " +
+             std::to_string(o.tx_sum) + "us");
+      }
+      if (bytes != o.bytes_sum) {
+        fail("byte conservation violated on " + name_of(track_names, e.track) +
+             ": link reports " + std::to_string(bytes) +
+             " bytes but transmissions sum to " +
+             std::to_string(o.bytes_sum));
+      }
+      if (busy > now && now > 0) {
+        fail("utilization >100% on " + name_of(track_names, e.track) + ": " +
+             std::to_string(busy) + "us busy in " + std::to_string(now) +
+             "us elapsed");
+      }
+    }
+  }
+
+  for (const auto& [track, o] : origins) {
+    if (o.count > 0) report.origins += 1;
+    if (o.count > 0 && !o.summarized) {
+      fail("origin " + name_of(track_names, track) +
+           " has transmissions but no link_summary event");
+    }
+  }
+  return report;
+}
+
+MacroAuditReport audit_macro_trace(const trace::Recorder& recorder) {
+  std::vector<std::string> names;
+  names.reserve(16);
+  // Recorder exposes names by id; ids are dense [0, N). Probe until the
+  // events run out of ids instead of relying on a count accessor.
+  int max_track = -1;
+  for (const trace::Recorder::Event& e : recorder.events()) {
+    if (e.track > max_track) max_track = e.track;
+  }
+  for (int t = 0; t <= max_track; ++t) {
+    names.push_back(recorder.track_name(t));
+  }
+  return audit_macro_trace(recorder.events(), names);
+}
+
+}  // namespace vroom::obs

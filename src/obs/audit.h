@@ -1,0 +1,55 @@
+// Macro-trace auditor (DESIGN.md §12): cross-load invariants over the
+// deployment scenario's Deploy-layer trace.
+//
+// Per-load trace assertions (tests/trace_test.cpp, tests/deploy_test.cpp)
+// check one simulated world at a time. The deployment macro pass is the one
+// place where *loads interact* — thousands of page views contending for the
+// same per-origin links — and its correctness properties are relations
+// *between* events of different loads:
+//
+//   * arrival monotonicity — `deploy.page_view` events appear in
+//     non-decreasing virtual-time order (the population stream is sorted
+//     and the event loop must not reorder same-time arrivals);
+//   * per-origin FIFO — every origin link serves transmissions in arrival
+//     order, each starting exactly when the link frees (or the bytes
+//     arrive, whichever is later): start_i == max(enqueue_i, end_{i-1});
+//   * link-utilization conservation — an origin's reported busy time and
+//     byte total equal the sum of its transmissions, and busy time never
+//     exceeds elapsed virtual time (a link cannot be >100% utilized).
+//
+// audit_macro_trace re-derives all three from the raw event stream alone —
+// it shares no state with the scenario, so a scheduling bug cannot hide by
+// also corrupting the checker's inputs. The simulation is deterministic,
+// so every check is exact (integer equality), not tolerance-banded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace vroom::obs {
+
+struct MacroAuditReport {
+  std::int64_t page_views = 0;
+  std::int64_t transmissions = 0;
+  std::int64_t origins = 0;
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+  // One line per error (capped at 20), or "ok" with the totals.
+  std::string to_string() const;
+};
+
+// Audits `events` (any order-preserving slice of a macro-pass recorder's
+// event stream). `track_names` maps Recorder track ids to display names for
+// error messages; out-of-range ids degrade to "track<N>".
+MacroAuditReport audit_macro_trace(
+    const std::vector<trace::Recorder::Event>& events,
+    const std::vector<std::string>& track_names);
+
+// Convenience: audits everything `recorder` captured.
+MacroAuditReport audit_macro_trace(const trace::Recorder& recorder);
+
+}  // namespace vroom::obs

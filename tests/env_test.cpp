@@ -24,6 +24,8 @@ struct CleanEnv {
   ScopedEnv trace{"VROOM_TRACE", nullptr};
   ScopedEnv out{"VROOM_OUT_DIR", nullptr};
   ScopedEnv progress{"VROOM_PROGRESS", nullptr};
+  ScopedEnv metrics{"VROOM_METRICS", nullptr};
+  ScopedEnv profile{"VROOM_PROFILE", nullptr};
 };
 
 TEST(Env, DefaultsWhenUnset) {
@@ -36,6 +38,33 @@ TEST(Env, DefaultsWhenUnset) {
   EXPECT_EQ(env.out_dir, "");
   EXPECT_FALSE(env.progress);
   EXPECT_FALSE(env.trace_enabled());
+  EXPECT_EQ(env.metrics_dir, "");
+  EXPECT_FALSE(env.metrics_enabled());
+  EXPECT_FALSE(env.profile);
+}
+
+TEST(Env, MetricsAndProfileKnobs) {
+  CleanEnv clean;
+  {
+    ScopedEnv metrics("VROOM_METRICS", "/tmp/vroom-metrics");
+    const harness::Env env = harness::Env::from_environment();
+    EXPECT_EQ(env.metrics_dir, "/tmp/vroom-metrics");
+    EXPECT_TRUE(env.metrics_enabled());
+  }
+  {
+    // Same truthiness rules as VROOM_PROGRESS: "0" and "" stay off.
+    ScopedEnv profile("VROOM_PROFILE", "0");
+    EXPECT_FALSE(harness::Env::from_environment().profile);
+  }
+  {
+    ScopedEnv profile("VROOM_PROFILE", "");
+    EXPECT_FALSE(harness::Env::from_environment().profile);
+  }
+  for (const char* on : {"1", "yes", "true"}) {
+    ScopedEnv profile("VROOM_PROFILE", on);
+    EXPECT_TRUE(harness::Env::from_environment().profile)
+        << "VROOM_PROFILE=\"" << on << '"';
+  }
 }
 
 TEST(Env, ParsesEveryVariable) {
