@@ -25,20 +25,24 @@ namespace {
 
 using namespace vroom;
 
-// Peak resident set size (VmHWM) in bytes, 0 if /proc is unavailable.
+// Peak resident set size (VmHWM, reported by the kernel in kB) in bytes.
+// Returns -1.0 when /proc is unavailable or has no VmHWM line, so consumers
+// (scripts/bench_smoke.sh) can tell "unmeasurable" from a genuine zero.
 double peak_rss_bytes() {
   std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0.0;
+  if (f == nullptr) return -1.0;
   char line[256];
+  bool found = false;
   double kb = 0.0;
   while (std::fgets(line, sizeof line, f) != nullptr) {
     if (std::strncmp(line, "VmHWM:", 6) == 0) {
       kb = std::strtod(line + 6, nullptr);
+      found = true;
       break;
     }
   }
   std::fclose(f);
-  return kb * 1024.0;
+  return found ? kb * 1024.0 : -1.0;
 }
 
 void BM_EventLoopScheduleRun(benchmark::State& state) {

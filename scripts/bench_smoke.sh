@@ -31,5 +31,9 @@ for b in runs:
     assert b["items_per_second"] > 0, b["name"]
     assert b["sim_events_per_sec"] > 0, b["name"]
     assert "peak_rss_bytes" in b, b["name"]
+    # -1 is the "/proc unavailable" sentinel (tolerated: sandboxes may hide
+    # /proc); 0 or a negative other than -1 means the probe itself broke.
+    rss = b["peak_rss_bytes"]
+    assert rss > 0 or rss == -1.0, f"{b['name']}: bad peak_rss_bytes {rss}"
 print(f"bench smoke ok: {len(runs)} loads/sec series")
 EOF

@@ -11,6 +11,11 @@
 # Passes when:
 #   - no file under the simulation layers changed relative to base, or
 #   - the diff also changes the `kResultCacheSaltVersion = <n>` line.
+#
+# The src/sim/ prefix below covers the substrate including the per-load
+# arena (sim/arena.*): allocator changes are not supposed to move simulated
+# numbers, but if one does, this lint is the backstop that forces the salt
+# conversation.
 # Skips (exit 0) when not run inside a git work tree or the base ref does
 # not resolve — a tarball build has nothing to compare against.
 set -u

@@ -41,8 +41,11 @@ Browser::Browser(net::Network& net, http::ConnectionPool& pool,
       pool_(pool),
       instance_(&instance),
       config_(config),
-      tasks_(net.loop()),
-      net_wait_(net.loop()) {
+      tasks_(net.loop(), instance.memory()),
+      net_wait_(net.loop()),
+      fetches_(instance.memory()),
+      touch_order_(instance.memory()),
+      docs_(instance.memory()) {
   if (config_.policy == nullptr) {
     default_policy_ = std::make_unique<StatusQuoPolicy>();
     policy_ = default_policy_.get();
@@ -55,7 +58,7 @@ Browser::Browser(net::Network& net, http::ConnectionPool& pool,
   fetches_.resize(instance.interner().url_count());
 }
 
-bool Browser::url_processable(const std::string& url) {
+bool Browser::url_processable(std::string_view url) {
   auto parsed = web::parse_url(url);
   if (!parsed) return false;
   return web::is_processable(web::type_from_ext(parsed->ext));
@@ -150,7 +153,7 @@ void Browser::fetch_url(web::UrlId id, int priority, FetchReason reason) {
   if (reason == FetchReason::Hint) fs.hinted = true;
 
   const web::UrlInfo& info = instance_->interner().info(id);
-  const std::string& url = url_of(id);
+  const std::string_view url = url_of(id);
 
   const sim::Time now_abs = abs_now();
   if (config_.cache != nullptr && config_.cache->fresh(url, now_abs)) {

@@ -14,11 +14,19 @@
 // per-URL facts (type, priority, processability) come from the interner's
 // cached UrlInfo instead of re-parsing. URL strings appear only at the
 // edges (trace events, result timings, the cross-load cache).
+//
+// Per-load tables — the dense fetch table, the touch-order shadow map, doc
+// parser states, and the main-thread task queue — allocate from the page
+// world's arena (instance.memory(), see sim/arena.h and DESIGN.md §13):
+// they live exactly one load and are reclaimed wholesale when the fleet
+// worker resets its arena. LoadResult is the exception — it escapes the
+// load, so it stays on owned heap storage.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <memory_resource>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -87,10 +95,11 @@ class Browser {
   TaskQueue& tasks() { return tasks_; }
 
   // Interns a URL in the page world's interner (hints carry strings).
-  web::UrlId intern(const std::string& url) {
+  web::UrlId intern(std::string_view url) {
     return instance_->interner().url_id(url);
   }
-  const std::string& url_of(web::UrlId id) const {
+  // View of the interner's arena copy; valid for the life of the load.
+  std::string_view url_of(web::UrlId id) const {
     return instance_->interner().url(id);
   }
 
@@ -111,7 +120,7 @@ class Browser {
   int outstanding_fetches() const { return outstanding_; }
 
   // True if `url` is a processable type (HTML/CSS/JS) per its extension.
-  static bool url_processable(const std::string& url);
+  static bool url_processable(std::string_view url);
   // Interned variant reading the cached UrlInfo.
   bool processable(web::UrlId id) const {
     return instance_->interner().info(id).processable;
@@ -148,8 +157,14 @@ class Browser {
   };
 
   struct DocState {
+    // Allocator-aware so docs_[id] places `children` on the same arena as
+    // the map's nodes (uses-allocator construction).
+    using allocator_type = std::pmr::polymorphic_allocator<std::byte>;
+    DocState() = default;
+    explicit DocState(const allocator_type& alloc) : children(alloc) {}
+
     std::uint32_t doc_id = 0;
-    std::vector<std::uint32_t> children;  // HtmlTag children by offset
+    std::pmr::vector<std::uint32_t> children;  // HtmlTag children by offset
     std::size_t next = 0;
     double pos = 0.0;
     sim::Time parse_total = 0;
@@ -203,17 +218,20 @@ class Browser {
   FetchPolicy* policy_;
 
   // Dense, indexed by UrlId. Instance resources occupy ids 0..N-1; foreign
-  // URLs (stale hints) get ids as they intern.
-  std::vector<FetchState> fetches_;
+  // URLs (stale hints) get ids as they intern. Arena-backed: the table's
+  // buffer comes from the page world's arena; element destructors (waiter
+  // vectors) still run when the browser dies, before any arena reset.
+  std::pmr::vector<FetchState> fetches_;
   // Enumeration order of the fetch table is load-bearing: iframe documents
   // pending at root-done start in this order, which shifts task timing.
   // The table used to BE a string-keyed unordered_map, so its enumeration
   // (libstdc++ hash-bucket order) is frozen into every recorded result.
   // This shadow map replays the same key/insertion history — one insert per
   // first-touched URL — so enumeration stays bit-identical. Keys view into
-  // the interner's stable storage.
-  std::unordered_map<std::string_view, web::UrlId> touch_order_;
-  std::unordered_map<std::uint32_t, DocState> docs_;
+  // the interner's stable storage; nodes come from the same arena (the
+  // allocator cannot perturb libstdc++'s bucket order — DESIGN.md §13).
+  std::pmr::unordered_map<std::string_view, web::UrlId> touch_order_;
+  std::pmr::unordered_map<std::uint32_t, DocState> docs_;
   int docs_pending_ = 0;
   int referenced_incomplete_ = 0;
   int outstanding_ = 0;

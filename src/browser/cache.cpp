@@ -2,23 +2,30 @@
 
 namespace vroom::browser {
 
-void Cache::insert(const std::string& url, std::int64_t size,
-                   sim::Time now_abs, sim::Time max_age) {
+void Cache::insert(std::string_view url, std::int64_t size, sim::Time now_abs,
+                   sim::Time max_age) {
   if (max_age <= 0) return;  // uncacheable
-  entries_[url] = Entry{size, now_abs, max_age};
+  // Owned string key: the entry outlives the per-load arena the view may
+  // point into.
+  auto it = entries_.find(url);
+  if (it == entries_.end()) {
+    entries_.emplace(std::string(url), Entry{size, now_abs, max_age});
+  } else {
+    it->second = Entry{size, now_abs, max_age};
+  }
 }
 
-bool Cache::fresh(const std::string& url, sim::Time now_abs) const {
+bool Cache::fresh(std::string_view url, sim::Time now_abs) const {
   auto it = entries_.find(url);
   if (it == entries_.end()) return false;
   return now_abs - it->second.stored_at <= it->second.max_age;
 }
 
-bool Cache::has(const std::string& url) const {
-  return entries_.count(url) > 0;
+bool Cache::has(std::string_view url) const {
+  return entries_.find(url) != entries_.end();
 }
 
-const Cache::Entry* Cache::find(const std::string& url) const {
+const Cache::Entry* Cache::find(std::string_view url) const {
   auto it = entries_.find(url);
   return it == entries_.end() ? nullptr : &it->second;
 }

@@ -2,11 +2,16 @@
 //
 // Lives *across* page loads (warm-cache study, Figure 20): entries are
 // stamped with absolute wall-clock time, while each load's event loop runs
-// in its own relative time — callers pass absolute instants.
+// in its own relative time — callers pass absolute instants. Because it
+// outlives the per-load world, the cache deliberately owns heap std::string
+// keys instead of arena-backed interner views (DESIGN.md §13); lookups take
+// string_view so per-load callers probe without allocating.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "sim/time.h"
@@ -21,21 +26,28 @@ class Cache {
     sim::Time max_age = 0;
   };
 
-  void insert(const std::string& url, std::int64_t size, sim::Time now_abs,
+  void insert(std::string_view url, std::int64_t size, sim::Time now_abs,
               sim::Time max_age);
 
   // Entry exists and is within its freshness lifetime: usable without any
   // network traffic.
-  bool fresh(const std::string& url, sim::Time now_abs) const;
+  bool fresh(std::string_view url, sim::Time now_abs) const;
   // Entry exists but may be stale: usable after a conditional revalidation.
-  bool has(const std::string& url) const;
+  bool has(std::string_view url) const;
 
-  const Entry* find(const std::string& url) const;
+  const Entry* find(std::string_view url) const;
   std::size_t size() const { return entries_.size(); }
   void clear() { entries_.clear(); }
 
  private:
-  std::unordered_map<std::string, Entry> entries_;
+  // Heterogeneous hash/eq: find(string_view) without a temporary key.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, Entry, Hash, std::equal_to<>> entries_;
 };
 
 }  // namespace vroom::browser

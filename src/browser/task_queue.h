@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory_resource>
 
 #include "sim/event_loop.h"
 
@@ -23,7 +24,13 @@ enum class TaskPriority : int {
 
 class TaskQueue {
  public:
-  explicit TaskQueue(sim::EventLoop& loop) : loop_(loop) {}
+  // Queue storage (deque blocks) comes from `memory` — the page world's
+  // per-load arena when the browser constructs it, the default heap
+  // resource otherwise.
+  explicit TaskQueue(sim::EventLoop& loop,
+                     std::pmr::memory_resource* memory =
+                         std::pmr::get_default_resource())
+      : loop_(loop), queue_(memory) {}
 
   // Enqueues a task occupying the CPU for `duration`; `body` runs at task
   // completion.
@@ -51,7 +58,7 @@ class TaskQueue {
   void start_next();
 
   sim::EventLoop& loop_;
-  std::deque<Task> queue_;
+  std::pmr::deque<Task> queue_;
   bool running_ = false;
   std::uint64_t next_seq_ = 0;
   sim::Time total_busy_ = 0;

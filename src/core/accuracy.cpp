@@ -33,7 +33,7 @@ AccuracySample measure_accuracy(const web::PageModel& model, sim::Time when,
   for (std::uint32_t rid : scope) {
     scope_bytes += load_a.resource(rid).size;
     if (load_a.resource(rid).url == load_b.resource(rid).url) {
-      predictable.insert(load_a.resource(rid).url);
+      predictable.insert(std::string(load_a.resource(rid).url));
       predictable_bytes += load_a.resource(rid).size;
     }
   }
@@ -86,9 +86,9 @@ double persistence_fraction(const web::PageModel& model, sim::Time when,
   const web::PageInstance a(model, id_a);
   const web::PageInstance b(model, id_b);
   std::set<std::string> later;
-  for (const auto& ir : b.resources()) later.insert(ir.url);
+  for (const auto& ir : b.resources()) later.insert(std::string(ir.url));
   std::size_t kept = 0;
-  for (const auto& ir : a.resources()) kept += later.count(ir.url);
+  for (const auto& ir : a.resources()) kept += later.count(std::string(ir.url));
   return a.size() == 0
              ? 0.0
              : static_cast<double>(kept) / static_cast<double>(a.size());

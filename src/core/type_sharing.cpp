@@ -52,7 +52,7 @@ TypeSharingSample measure_type_sharing(const web::PageModel& target,
   std::set<std::string> predictable;
   for (std::uint32_t rid : scope) {
     if (load_a.resource(rid).url == load_b.resource(rid).url) {
-      predictable.insert(load_a.resource(rid).url);
+      predictable.insert(std::string(load_a.resource(rid).url));
     }
   }
   if (predictable.empty()) return s;

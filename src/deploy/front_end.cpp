@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "server/replay_store.h"
+#include "sim/arena.h"
 #include "sim/random.h"
 #include "web/page_instance.h"
 
@@ -66,7 +67,10 @@ int FrontEnd::generate(int page_index, const web::DeviceProfile& device,
       sim::derive_seed(seed_, "deploy:crawl"),
       sim::derive_seed(static_cast<std::uint64_t>(model.page_id()),
                        static_cast<std::uint64_t>(crawl_t)));
-  const web::PageInstance crawl(model, id);
+  // Crawl world on the pooled per-thread arena: built, advised on, and
+  // discarded — the same per-load lifetime as a live load's world.
+  sim::PooledArena arena;
+  const web::PageInstance crawl(model, id, arena.get());
   const server::ReplayStore store(crawl);
   core::VroomProvider provider(store, config_.provider);
 

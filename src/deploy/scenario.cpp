@@ -17,6 +17,7 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/phase_profiler.h"
+#include "sim/arena.h"
 #include "sim/event_loop.h"
 #include "sim/random.h"
 #include "trace/trace.h"
@@ -184,7 +185,9 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
     id.device = mix[0].device;
     id.user = 0;
     id.nonce = harness::derive_load_nonce(cfg.seed, page.page_id(), 0);
-    const web::PageInstance inst(page, id);
+    // Profile world on the pooled arena; reset-and-reused per page.
+    sim::PooledArena arena;
+    const web::PageInstance inst(page, id, arena.get());
     std::map<std::string, std::int64_t> by_domain;  // ordered => determinism
     for (const web::InstanceResource& r : inst.resources()) {
       by_domain[web::url_domain(r.url)] += r.size;

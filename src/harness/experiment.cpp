@@ -11,6 +11,7 @@
 #include "http/connection_pool.h"
 #include "obs/phase_profiler.h"
 #include "server/origin_server.h"
+#include "sim/arena.h"
 #include "sim/random.h"
 #include "trace/trace.h"
 
@@ -35,6 +36,12 @@ browser::LoadResult run_page_load(const web::PageModel& page,
   // from scratch per load.
   sim::PooledEventLoop pooled;
   sim::EventLoop& loop = *pooled;
+  // Pooled bump arena for everything with per-load lifetime (interner
+  // storage, instance tables, browser fetch/task state). Declared before
+  // the world objects so they die before the arena returns to the pool and
+  // resets; consecutive loads on a worker then rebuild their world inside
+  // the chunks this load grew (DESIGN.md §13).
+  sim::PooledArena arena;
   const net::NetworkConfig ncfg =
       strategy.local_network
           ? net::NetworkConfig::local_usb()
@@ -58,7 +65,7 @@ browser::LoadResult run_page_load(const web::PageModel& page,
     // Instance realization is the parse-and-intern phase: resource
     // rotation, URL/domain interning, per-load tables.
     obs::PhaseTimer intern_phase(obs::Phase::Intern);
-    instance_storage.emplace(page, ident);
+    instance_storage.emplace(page, ident, arena.get());
   }
   const web::PageInstance& instance = *instance_storage;
 

@@ -18,7 +18,13 @@ bool arg_int(const std::string& args_json, const char* key,
   const char* begin = args_json.data() + at + needle.size();
   const char* end = args_json.data() + args_json.size();
   const auto [ptr, ec] = std::from_chars(begin, end, *out);
-  return ec == std::errc() && ptr != begin;
+  if (ec != std::errc() || ptr == begin) return false;
+  // The value must end at a JSON delimiter. `ptr != begin` alone accepted
+  // partial parses — `"bytes":12.5` silently read as 12 — which violates the
+  // strict whole-value contract in harness/env.cpp.
+  if (ptr == end) return true;
+  const char next = *ptr;
+  return next == ',' || next == '}' || next == ']' || next == ' ';
 }
 
 std::string name_of(const std::vector<std::string>& track_names, int track) {

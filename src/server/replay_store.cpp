@@ -18,7 +18,7 @@ std::optional<ReplayStore::Entry> ReplayStore::lookup(
 }
 
 std::optional<ReplayStore::Entry> ReplayStore::lookup(
-    const std::string& url) const {
+    std::string_view url) const {
   if (auto id = instance_->find_by_url(url)) {
     Entry e;
     e.size = instance_->resource(*id).size;

@@ -9,7 +9,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <string>
+#include <string_view>
 
 #include "http/message.h"
 #include "web/page_instance.h"
@@ -30,7 +30,7 @@ class ReplayStore {
 
   // Resolves a URL to servable content; nullopt if the URL does not belong
   // to this page at all.
-  std::optional<Entry> lookup(const std::string& url) const;
+  std::optional<Entry> lookup(std::string_view url) const;
 
   // Request overload: when the request carries the page world's interned
   // UrlId (the common case — the store and the client share the instance's

@@ -26,6 +26,10 @@ Arg arg(std::string key, std::string value) {
   return Arg{std::move(key), std::move(value), /*quoted=*/true};
 }
 
+Arg arg(std::string key, std::string_view value) {
+  return Arg{std::move(key), std::string(value), /*quoted=*/true};
+}
+
 Arg arg(std::string key, const char* value) {
   return Arg{std::move(key), std::string(value), /*quoted=*/true};
 }

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -46,6 +47,8 @@ struct Arg {
 };
 
 Arg arg(std::string key, std::string value);
+Arg arg(std::string key, std::string_view value);  // copies; views are
+                                                   // per-load, events are not
 Arg arg(std::string key, const char* value);
 Arg arg(std::string key, std::int64_t value);
 Arg arg(std::string key, int value);

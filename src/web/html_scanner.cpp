@@ -13,7 +13,7 @@ std::vector<ScannedLink> scan_html(const PageInstance& instance,
   for (std::uint32_t child : model.children(doc_id)) {
     const Resource& r = model.resource(child);
     if (r.via != DiscoveryVia::HtmlTag) continue;
-    out.push_back(ScannedLink{child, instance.resource(child).url,
+    out.push_back(ScannedLink{child, std::string(instance.resource(child).url),
                               r.discovery_offset});
   }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {

@@ -17,15 +17,25 @@ std::int8_t native_priority_of(ResourceType t) {
 
 }  // namespace
 
+Interner::Interner(sim::Arena* arena)
+    : arena_(arena != nullptr ? arena : new sim::Arena()),
+      owned_arena_(arena != nullptr ? nullptr : arena_),
+      urls_(arena_),
+      domains_(arena_),
+      info_(arena_),
+      url_index_(arena_),
+      domain_index_(arena_) {}
+
 UrlId Interner::url_id(std::string_view url) {
   auto it = url_index_.find(url);
   if (it != url_index_.end()) return it->second;
 
   const UrlId id = static_cast<UrlId>(urls_.size());
-  urls_.emplace_back(url);
+  const std::string_view stored = arena_->copy_string(url);
+  urls_.push_back(stored);
   UrlInfo info;
-  info.domain = domain_id(url_domain_view(url));
-  if (auto parsed = parse_url(url)) {
+  info.domain = domain_id(url_domain_view(stored));
+  if (auto parsed = parse_url(stored)) {
     info.parse_ok = true;
     info.type = type_from_ext(parsed->ext);
     info.processable = is_processable(info.type);
@@ -36,7 +46,7 @@ UrlId Interner::url_id(std::string_view url) {
     info.user = parsed->user;
   }
   info_.push_back(info);
-  url_index_.emplace(urls_.back(), id);
+  url_index_.emplace(stored, id);
   return id;
 }
 
@@ -44,8 +54,9 @@ DomainId Interner::domain_id(std::string_view domain) {
   auto it = domain_index_.find(domain);
   if (it != domain_index_.end()) return it->second;
   const DomainId id = static_cast<DomainId>(domains_.size());
-  domains_.emplace_back(domain);
-  domain_index_.emplace(domains_.back(), id);
+  const std::string_view stored = arena_->copy_string(domain);
+  domains_.push_back(stored);
+  domain_index_.emplace(stored, id);
   return id;
 }
 

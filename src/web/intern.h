@@ -9,23 +9,35 @@
 // time, and lets the rest of the world run on ids. Strings survive only at
 // the edges: trace events, CSV export, waterfall tables.
 //
+// Storage: string bytes, the UrlInfo table, and the index maps all live on
+// a sim::Arena (one lifetime ⇒ one arena, bulk-reset between loads — see
+// arena.h and DESIGN.md §13). Arena chunks never move, so the string_view
+// index keys and the views returned by url()/domain() stay address-stable
+// for the interner's whole life. A default-constructed Interner owns a
+// private arena; the per-load world passes the fleet worker's pooled arena
+// instead so consecutive loads reuse the same chunks.
+//
 // Ownership and lifetime: the interner is owned by the `PageInstance` (the
 // page world); every realized resource URL and its origin are pre-interned
 // at build time, so instance resources get ids 0..N-1 in resource order.
 // Foreign URLs (stale hints, ghost fetches) intern lazily on first touch.
 // Ids are meaningful only relative to one interner — they never cross loads
-// or appear in results, so interning cannot affect simulated numbers. A page
-// world is single-threaded (each fleet job builds a private world), so the
-// interner is not synchronized.
+// or appear in results, so interning cannot affect simulated numbers. An id
+// minted by a *different* interner (e.g. retained across an arena reset) is
+// out of range or names the wrong URL; the debug asserts below catch the
+// former. A page world is single-threaded (each fleet job builds a private
+// world), so the interner is not synchronized.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <deque>
-#include <string>
+#include <memory>
+#include <memory_resource>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/arena.h"
 #include "web/resource.h"
 
 namespace vroom::web {
@@ -52,7 +64,10 @@ struct UrlInfo {
 
 class Interner {
  public:
-  Interner() = default;
+  // Backs storage with `arena` when given; otherwise owns a private arena.
+  // The caller's arena must outlive the interner and not be reset while the
+  // interner (or anything holding its views) is alive.
+  explicit Interner(sim::Arena* arena = nullptr);
   Interner(const Interner&) = delete;
   Interner& operator=(const Interner&) = delete;
 
@@ -65,8 +80,17 @@ class Interner {
     return it == url_index_.end() ? kInvalidId : it->second;
   }
 
-  const std::string& url(UrlId id) const { return urls_[id]; }
-  const UrlInfo& info(UrlId id) const { return info_[id]; }
+  // Accessors index with a debug bounds assert: an out-of-range id is
+  // always a cross-interner bug (an id retained across a load boundary),
+  // never a legitimate miss — see the lifetime note above.
+  std::string_view url(UrlId id) const {
+    assert(id < urls_.size() && "UrlId from a different interner/load");
+    return urls_[id];
+  }
+  const UrlInfo& info(UrlId id) const {
+    assert(id < info_.size() && "UrlId from a different interner/load");
+    return info_[id];
+  }
   std::size_t url_count() const { return urls_.size(); }
 
   DomainId domain_id(std::string_view domain);
@@ -74,17 +98,27 @@ class Interner {
     auto it = domain_index_.find(domain);
     return it == domain_index_.end() ? kInvalidId : it->second;
   }
-  const std::string& domain(DomainId id) const { return domains_[id]; }
+  std::string_view domain(DomainId id) const {
+    assert(id < domains_.size() && "DomainId from a different interner/load");
+    return domains_[id];
+  }
   std::size_t domain_count() const { return domains_.size(); }
 
+  // The memory resource backing this interner (the caller's arena or the
+  // private fallback). The owning PageInstance allocates its own per-load
+  // tables from the same resource.
+  std::pmr::memory_resource* memory() const { return arena_; }
+
  private:
-  // std::deque keeps element addresses stable, so the index maps can key on
-  // string_views into the stored strings without re-owning them.
-  std::deque<std::string> urls_;
-  std::deque<std::string> domains_;
-  std::vector<UrlInfo> info_;
-  std::unordered_map<std::string_view, UrlId> url_index_;
-  std::unordered_map<std::string_view, DomainId> domain_index_;
+  sim::Arena* arena_;                        // never null after construction
+  std::unique_ptr<sim::Arena> owned_arena_;  // set iff no arena was passed
+  // Views into arena chunks: chunk memory never moves, so the index maps can
+  // key on the same views without re-owning them.
+  std::pmr::vector<std::string_view> urls_;
+  std::pmr::vector<std::string_view> domains_;
+  std::pmr::vector<UrlInfo> info_;
+  std::pmr::unordered_map<std::string_view, UrlId> url_index_;
+  std::pmr::unordered_map<std::string_view, DomainId> domain_index_;
 };
 
 }  // namespace vroom::web

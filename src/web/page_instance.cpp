@@ -74,27 +74,34 @@ std::string realize_url(const PageModel& model, const Resource& r,
                   full_version, user_part, type_ext(r.type));
 }
 
-PageInstance::PageInstance(const PageModel& model, const LoadIdentity& id)
-    : model_(&model), id_(id) {
+PageInstance::PageInstance(const PageModel& model, const LoadIdentity& id,
+                           sim::Arena* arena)
+    : model_(&model),
+      id_(id),
+      interner_(arena),
+      resources_(interner_.memory()),
+      template_by_url_(interner_.memory()) {
   resources_.reserve(model.size());
   template_by_url_.reserve(model.size());
   for (const Resource& r : model.resources()) {
     const std::uint64_t full_version = full_version_of(r, id);
     InstanceResource ir;
     ir.template_id = r.id;
-    ir.url = realize_url(model, r, id);
-    ir.url_id = interner_.url_id(ir.url);
+    ir.url_id = interner_.url_id(realize_url(model, r, id));
+    // The interner's arena copy is the one stored string per URL; the
+    // instance keeps a view of it.
+    ir.url = interner_.url(ir.url_id);
     ir.size = realized_size(r, full_version);
     // Realized URLs are distinct per slot, so pre-interning in build order
     // assigns resource i the UrlId i.
     assert(ir.url_id == template_by_url_.size());
     template_by_url_.push_back(r.id);
-    resources_.push_back(std::move(ir));
+    resources_.push_back(ir);
   }
 }
 
 std::optional<std::uint32_t> PageInstance::find_by_url(
-    const std::string& url) const {
+    std::string_view url) const {
   const UrlId id = interner_.find_url(url);
   if (id == kInvalidId) return std::nullopt;
   return template_of(id);
@@ -103,12 +110,12 @@ std::optional<std::uint32_t> PageInstance::find_by_url(
 std::vector<std::string> PageInstance::url_set() const {
   std::vector<std::string> out;
   out.reserve(resources_.size());
-  for (const auto& r : resources_) out.push_back(r.url);
+  for (const auto& r : resources_) out.emplace_back(r.url);
   return out;
 }
 
 std::optional<std::int64_t> servable_size(const PageModel& model,
-                                          const std::string& url) {
+                                          std::string_view url) {
   auto parsed = parse_url(url);
   if (!parsed) return std::nullopt;
   if (parsed->resource_id >= model.size()) return std::nullopt;

@@ -13,10 +13,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory_resource>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "sim/arena.h"
 #include "sim/time.h"
 #include "web/device.h"
 #include "web/intern.h"
@@ -34,7 +37,9 @@ struct LoadIdentity {
 
 struct InstanceResource {
   std::uint32_t template_id = 0;
-  std::string url;
+  // View of the interner's stable arena copy (the URL is pre-interned at
+  // build, so realization stores no second string). Dies with the instance.
+  std::string_view url;
   UrlId url_id = kInvalidId;  // pre-interned in the instance's interner
   std::int64_t size = 0;
 };
@@ -53,7 +58,13 @@ std::string realize_url(const PageModel& model, const Resource& r,
 
 class PageInstance {
  public:
-  PageInstance(const PageModel& model, const LoadIdentity& id);
+  // Realizes `model` at `id`. When `arena` is given, every per-load table —
+  // interner storage, the resource list, the url→template map — lives on it
+  // and is reclaimed wholesale when the arena resets after the load (see
+  // DESIGN.md §13). Without an arena the instance owns one, so standalone
+  // uses (tests, accuracy set arithmetic) are unchanged.
+  PageInstance(const PageModel& model, const LoadIdentity& id,
+               sim::Arena* arena = nullptr);
 
   const PageModel& model() const { return *model_; }
   const LoadIdentity& identity() const { return id_; }
@@ -61,12 +72,14 @@ class PageInstance {
   const InstanceResource& resource(std::uint32_t id) const {
     return resources_[id];
   }
-  const std::vector<InstanceResource>& resources() const { return resources_; }
+  const std::pmr::vector<InstanceResource>& resources() const {
+    return resources_;
+  }
   std::size_t size() const { return resources_.size(); }
 
   // Finds the template id behind a realized URL of *this* instance, or
   // nullopt for URLs of other instances (stale hints) / unknown URLs.
-  std::optional<std::uint32_t> find_by_url(const std::string& url) const;
+  std::optional<std::uint32_t> find_by_url(std::string_view url) const;
 
   // Id-keyed variant: the template id behind an interned URL, or nullopt
   // for URLs interned after build (they are foreign by construction).
@@ -83,17 +96,24 @@ class PageInstance {
   // const instance because a page world is single-threaded — see intern.h.
   Interner& interner() const { return interner_; }
 
+  // The memory resource backing this world's per-load state (the caller's
+  // arena or the interner's private fallback). The browser allocates its
+  // fetch table and task state from the same resource.
+  std::pmr::memory_resource* memory() const { return interner_.memory(); }
+
   // Set of realized URLs (for persistence / accuracy set arithmetic).
+  // Copies out of the arena: the caller's strings outlive the instance.
   std::vector<std::string> url_set() const;
 
  private:
   const PageModel* model_;
   LoadIdentity id_;
-  std::vector<InstanceResource> resources_;
+  // Declared (and thus constructed) before the pmr members it backs.
+  mutable Interner interner_;
+  std::pmr::vector<InstanceResource> resources_;
   // template_by_url_[url_id] = template id, kInvalidId for non-resource ids.
   // Sized at build; later-interned URLs are foreign, template_of covers them.
-  std::vector<std::uint32_t> template_by_url_;
-  mutable Interner interner_;
+  std::pmr::vector<std::uint32_t> template_by_url_;
 };
 
 // Realizes the URL + size a given (possibly stale) request would resolve to
@@ -101,6 +121,6 @@ class PageInstance {
 // servable, with size derived from the embedded version. Returns nullopt if
 // the URL does not belong to `model`.
 std::optional<std::int64_t> servable_size(const PageModel& model,
-                                          const std::string& url);
+                                          std::string_view url);
 
 }  // namespace vroom::web

@@ -1,6 +1,7 @@
 #include "web/trace_io.h"
 
 #include <charconv>
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <type_traits>
@@ -70,12 +71,16 @@ bool get_num(const std::map<std::string, std::string>& f, const char* key,
   auto it = f.find(key);
   if (it == f.end()) return false;
   const std::string& s = it->second;
+  // Both branches follow harness/env.cpp's strict contract: the whole field
+  // must be the number. The float path used std::stod, which accepted
+  // trailing garbage ("0.5x"), leading whitespace, hex, and inf/nan.
   if constexpr (std::is_floating_point_v<T>) {
-    try {
-      out = static_cast<T>(std::stod(s));
-    } catch (...) {
+    double v = 0.0;
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || ptr != s.data() + s.size() || !std::isfinite(v)) {
       return false;
     }
+    out = static_cast<T>(v);
     return true;
   } else {
     auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);

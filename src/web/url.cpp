@@ -56,8 +56,19 @@ std::optional<ParsedUrl> parse_url(std::string_view url) {
   }
   if (pos >= url.size() || url[pos] != '.') return std::nullopt;
   ++pos;
-  p.ext = std::string(url.substr(pos));
-  if (p.ext.empty()) return std::nullopt;
+  // The extension must consume the remainder of the URL and look like one
+  // make_url() emits: non-empty, alphanumeric only. Without this check the
+  // catch-all tail accepted any garbage suffix ("r2v3.js.evil" parsed as
+  // ext="js.evil", parse_ok=true), the same partial-parse laxness
+  // harness/env.cpp's strict contract forbids.
+  const std::string_view ext = url.substr(pos);
+  if (ext.empty()) return std::nullopt;
+  for (const char c : ext) {
+    const bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9');
+    if (!alnum) return std::nullopt;
+  }
+  p.ext = std::string(ext);
   return p;
 }
 

@@ -230,7 +230,7 @@ TEST_F(TypeSharingTest, SiblingsShareInfraUrls) {
   int shared = 0;
   for (const auto& r : pages_[1].resources()) {
     if (r.url_page_override != web::Resource::kNoPageOverride) {
-      EXPECT_TRUE(a_urls.count(b.resource(r.id).url))
+      EXPECT_TRUE(a_urls.count(std::string(b.resource(r.id).url)))
           << "shared slot not shared: " << b.resource(r.id).url;
       ++shared;
     }

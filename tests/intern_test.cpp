@@ -161,5 +161,37 @@ TEST(Interner, TracedEventStreamIdenticalAcrossRepeatedLoads) {
   EXPECT_EQ(first, second);
 }
 
+// Accessors assert on out-of-range ids. An id minted by one load's interner
+// is meaningless to another's (arena-backed storage is recycled between
+// loads), so a cross-load id that slips through must die loudly in debug
+// builds instead of reading recycled memory. (This test TU compiles with
+// -UNDEBUG so the header asserts are live even in release CI.)
+TEST(InternerDeathTest, OutOfRangeIdAsserts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  web::Interner in;
+  const web::UrlId a = in.url_id("a.example/p1/r0v2u0.html");
+  (void)in.url(a);  // in-range: fine
+  EXPECT_DEATH((void)in.url(web::UrlId{5}), "different interner");
+  EXPECT_DEATH((void)in.info(web::UrlId{5}), "different interner");
+  EXPECT_DEATH((void)in.domain(web::DomainId{5}), "different interner");
+}
+
+// Regression: ids from a *previous* world on the same (reset) arena are
+// out of range for the new interner, not silently mapped to new strings.
+TEST(InternerDeathTest, CrossLoadIdAsserts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  sim::Arena arena;
+  web::UrlId stale;
+  {
+    web::Interner in(&arena);
+    (void)in.url_id("a.example/p1/r0v2u0.html");
+    stale = in.url_id("b.example/p1/r1v7u0.css");  // id 1
+  }
+  arena.reset();
+  web::Interner fresh(&arena);
+  (void)fresh.url_id("c.example/p1/r2v0u0.js");  // id 0; count == 1
+  EXPECT_DEATH((void)fresh.url(stale), "different interner");
+}
+
 }  // namespace
 }  // namespace vroom

@@ -502,6 +502,32 @@ TEST(DeployObs, MacroTraceAuditPassesAndCatchesInjectedViolations) {
     EXPECT_NE(audit.errors[0].find("conservation"), std::string::npos)
         << audit.errors[0];
   }
+  {
+    // Partial-parse laxness: a non-integer bytes value must be reported as a
+    // missing arg, not silently truncated ("bytes":12.5 used to read as 12
+    // and pass — the strict whole-value contract of harness/env.cpp).
+    std::vector<trace::Recorder::Event> bad = events;
+    for (auto& e : bad) {
+      if (e.name == "deploy.origin_tx") {
+        const std::string needle = "\"bytes\":";
+        const std::size_t at = e.args_json.find(needle);
+        ASSERT_NE(at, std::string::npos) << e.args_json;
+        std::size_t end = at + needle.size();
+        while (end < e.args_json.size() &&
+               std::isdigit(static_cast<unsigned char>(e.args_json[end]))) {
+          ++end;
+        }
+        e.args_json.insert(end, ".5");
+        break;
+      }
+    }
+    const obs::MacroAuditReport audit =
+        obs::audit_macro_trace(bad, track_names);
+    EXPECT_FALSE(audit.ok());
+    ASSERT_FALSE(audit.errors.empty());
+    EXPECT_NE(audit.errors[0].find("missing"), std::string::npos)
+        << audit.errors[0];
+  }
 }
 
 TEST(DeployObs, MetricsExportCoversMacroPassAndStaysByteIdentical) {

@@ -112,6 +112,26 @@ TEST(TraceErrors, RejectsMalformedInput) {
   EXPECT_FALSE(page_from_trace(bad_root, &error).has_value());
 }
 
+// Numeric fields follow the strict whole-value contract (harness/env.cpp):
+// the float path used std::stod, which silently accepted trailing garbage,
+// hex floats, and inf/nan.
+TEST(TraceErrors, RejectsPartiallyParsedNumbers) {
+  const auto page_with_off = [](const char* off) {
+    return std::string("page id=1 class=news first_party=x.com\n"
+                       "res id=0 parent=-1 type=html via=tag off=") +
+           off + " size=1000 domain=x.com vol=hourly period=100 phase=0\n";
+  };
+  std::string error;
+  EXPECT_FALSE(page_from_trace(page_with_off("0.5x"), &error).has_value());
+  EXPECT_FALSE(page_from_trace(page_with_off("inf"), &error).has_value());
+  EXPECT_FALSE(page_from_trace(page_with_off("nan"), &error).has_value());
+  EXPECT_FALSE(page_from_trace(page_with_off("0x1"), &error).has_value());
+  EXPECT_FALSE(page_from_trace(page_with_off("."), &error).has_value());
+  // Plain and scientific notation still parse.
+  EXPECT_TRUE(page_from_trace(page_with_off("0.25"), &error).has_value());
+  EXPECT_TRUE(page_from_trace(page_with_off("2.5e-1"), &error).has_value());
+}
+
 TEST(TraceErrors, AcceptsCommentsAndHandwrittenMinimalPage) {
   const char* text =
       "# tiny page\n"

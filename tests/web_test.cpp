@@ -39,6 +39,21 @@ TEST(UrlTest, MalformedInputsRejected) {
   EXPECT_FALSE(parse_url("a.com/p1/r2.js").has_value());
 }
 
+// Strict whole-value contract (harness/env.cpp): the extension tail must be
+// exactly one alphanumeric token. The old catch-all accepted any suffix, so
+// "r2v3.js.evil" parsed as ext="js.evil" with parse_ok=true.
+TEST(UrlTest, ExtensionMustBeAlphanumericTail) {
+  EXPECT_FALSE(parse_url("a.com/p1/r2v3.js.evil").has_value());
+  EXPECT_FALSE(parse_url("a.com/p1/r2v3.js?x=1").has_value());
+  EXPECT_FALSE(parse_url("a.com/p1/r2v3.js ").has_value());
+  EXPECT_FALSE(parse_url("a.com/p1/r2v3.j-s").has_value());
+  EXPECT_FALSE(parse_url("a.com/p1/r2v3.").has_value());
+  // Digit-bearing real extensions still parse.
+  auto p = parse_url("a.com/p1/r2v3.woff2");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ext, "woff2");
+}
+
 TEST(UrlTest, DomainExtraction) {
   EXPECT_EQ(url_domain("cdn5.net/p1/r2v3.jpg"), "cdn5.net");
   EXPECT_EQ(url_domain("bare"), "bare");
