@@ -41,7 +41,11 @@ changed=$(git diff --name-only "${base}" -- 2>/dev/null)
 # obs/ is included because instrumentation sits inside the simulated load
 # path (phase spans in run_page_load): any behavioural slip there would
 # change exactly the results the cache stores.
-sim_layers='^src/(sim|net|http|browser|server|web|core|baselines|deploy|obs)/'
+# harness/experiment.* and harness/result_cache.* are included because they
+# define the wire formats the cache and the shard cell files persist
+# (serialize_corpus_result, cache entry layout): format changes make old
+# bytes unreadable-or-worse, so they must ride a salt bump too.
+sim_layers='^src/(sim|net|http|browser|server|web|core|baselines|deploy|obs)/|^src/harness/(experiment|result_cache)\.(h|cpp)$'
 sim_changed=$(printf '%s\n' "${changed}" | grep -E "${sim_layers}" || true)
 
 if [ -z "${sim_changed}" ]; then

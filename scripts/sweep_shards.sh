@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Cross-process sharded sweep driver (DESIGN.md §14): runs one bench binary
+# as N concurrent shard processes (VROOM_SHARD=i/N, each simulating only its
+# cell slice and publishing per-cell files into a shared VROOM_SHARD_DIR),
+# then re-runs it once in merge mode (VROOM_SHARD_DIR alone), whose stdout —
+# reassembled from the shard files, byte-identical to a one-process sweep —
+# is this script's stdout.
+#
+# Usage: sweep_shards.sh [--shards N] [--jobs J] [--pages P] [--check]
+#                        <bench_binary> [bench args...]
+#   --shards N  shard process count (default 2)
+#   --jobs J    VROOM_JOBS per shard process (default: leave unset)
+#   --pages P   VROOM_BENCH_PAGES for every run (default: leave unset)
+#   --check     also run the bench one-process and fail unless the merged
+#               stdout and exported CSVs (VROOM_OUT_DIR) are byte-identical;
+#               this is the `shard_merge_smoke` ctest
+#
+# Shard processes' stdout is discarded (each prints figures computed from
+# its partial slice); VROOM_OUT_DIR is force-unset for them so N processes
+# never race on the same CSVs — exports happen once, from the merge.
+set -euo pipefail
+
+shards=2
+jobs=""
+pages=""
+check=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --shards) shards="${2:?--shards needs a value}"; shift 2 ;;
+    --jobs)   jobs="${2:?--jobs needs a value}"; shift 2 ;;
+    --pages)  pages="${2:?--pages needs a value}"; shift 2 ;;
+    --check)  check=1; shift ;;
+    --) shift; break ;;
+    -*) echo "sweep_shards.sh: unknown flag $1" >&2; exit 2 ;;
+    *) break ;;
+  esac
+done
+bench="${1:?usage: sweep_shards.sh [--shards N] [--jobs J] [--pages P] [--check] <bench_binary> [args...]}"
+shift
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/vroom_shards.XXXXXX")"
+trap 'rm -rf "$workdir"' EXIT
+shard_dir="$workdir/cells"
+
+common_env=()
+if [ -n "$pages" ]; then common_env+=("VROOM_BENCH_PAGES=$pages"); fi
+
+# 1. Shard passes, concurrently — the whole point of the mode. Each gets the
+#    shared shard dir, its identity, and no VROOM_OUT_DIR.
+pids=()
+for i in $(seq 0 $((shards - 1))); do
+  shard_env=("${common_env[@]}" "VROOM_SHARD=$i/$shards"
+             "VROOM_SHARD_DIR=$shard_dir")
+  if [ -n "$jobs" ]; then shard_env+=("VROOM_JOBS=$jobs"); fi
+  env -u VROOM_OUT_DIR -u VROOM_SHARD -u VROOM_SHARD_DIR \
+      "${shard_env[@]}" "$bench" "$@" > /dev/null &
+  pids+=($!)
+done
+fail=0
+for i in "${!pids[@]}"; do
+  if ! wait "${pids[$i]}"; then
+    echo "sweep_shards.sh: shard $i/$shards failed" >&2
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
+# 2. Merge pass: no VROOM_SHARD, same shard dir. Its stdout is canonical.
+#    The caller's VROOM_OUT_DIR is honored here (and only here) — except in
+#    --check mode, where exports are diverted to a scratch dir for diffing.
+merge_out="$workdir/merge.stdout"
+merge_csv="$workdir/merge_csv"
+if [ "$check" -eq 1 ]; then
+  mkdir -p "$merge_csv"
+  env -u VROOM_SHARD -u VROOM_SHARD_DIR -u VROOM_OUT_DIR \
+      "${common_env[@]}" "VROOM_SHARD_DIR=$shard_dir" \
+      "VROOM_OUT_DIR=$merge_csv" "$bench" "$@" > "$merge_out"
+else
+  env -u VROOM_SHARD -u VROOM_SHARD_DIR \
+      "${common_env[@]}" "VROOM_SHARD_DIR=$shard_dir" \
+      "$bench" "$@" > "$merge_out"
+fi
+cat "$merge_out"
+
+# 3. --check: a one-process reference sweep must match byte for byte —
+#    stdout and every exported CSV.
+if [ "$check" -eq 1 ]; then
+  ref_out="$workdir/ref.stdout"
+  ref_csv="$workdir/ref_csv"
+  mkdir -p "$ref_csv"
+  ref_env=("${common_env[@]}" "VROOM_OUT_DIR=$ref_csv")
+  if [ -n "$jobs" ]; then ref_env+=("VROOM_JOBS=$jobs"); fi
+  env -u VROOM_SHARD -u VROOM_SHARD_DIR -u VROOM_OUT_DIR \
+      "${ref_env[@]}" "$bench" "$@" > "$ref_out"
+  if ! cmp -s "$ref_out" "$merge_out"; then
+    echo "sweep_shards.sh: FAIL — merged stdout differs from the" >&2
+    echo "one-process run:" >&2
+    diff "$ref_out" "$merge_out" >&2 || true
+    exit 1
+  fi
+  if ! diff -r "$ref_csv" "$merge_csv" > /dev/null; then
+    echo "sweep_shards.sh: FAIL — exported CSVs differ:" >&2
+    diff -r "$ref_csv" "$merge_csv" >&2 || true
+    exit 1
+  fi
+  echo "sweep_shards.sh: check ok — $shards shards merge byte-identical" >&2
+fi

@@ -233,4 +233,80 @@ CorpusResult::counter_totals() const {
   return {totals.begin(), totals.end()};
 }
 
+namespace {
+
+// Same wire idiom as browser/metrics.cpp: fixed-width little-endian
+// integers, length-prefixed strings, a leading format version.
+constexpr std::uint32_t kCorpusResultFormatVersion = 1;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+bool take_u32(std::string_view& in, std::uint32_t* v) {
+  if (in.size() < 4) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[i]))
+          << (8 * i);
+  }
+  in.remove_prefix(4);
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_corpus_result(const CorpusResult& r) {
+  std::string out;
+  put_u32(out, kCorpusResultFormatVersion);
+  put_u32(out, static_cast<std::uint32_t>(r.strategy.size()));
+  out.append(r.strategy);
+  put_u32(out, static_cast<std::uint32_t>(r.loads.size()));
+  for (const auto& load : r.loads) {
+    // Each load is framed by its own length so this format survives
+    // LoadResult wire evolution without reparsing knowledge of its fields.
+    const std::string payload = browser::serialize_load_result(load);
+    put_u32(out, static_cast<std::uint32_t>(payload.size()));
+    out.append(payload);
+  }
+  return out;
+}
+
+bool deserialize_corpus_result(std::string_view bytes, CorpusResult* out) {
+  std::uint32_t version = 0;
+  if (!take_u32(bytes, &version) || version != kCorpusResultFormatVersion) {
+    return false;
+  }
+  std::uint32_t strategy_len = 0;
+  if (!take_u32(bytes, &strategy_len) || bytes.size() < strategy_len) {
+    return false;
+  }
+  CorpusResult result;
+  result.strategy.assign(bytes.substr(0, strategy_len));
+  bytes.remove_prefix(strategy_len);
+  std::uint32_t n_loads = 0;
+  if (!take_u32(bytes, &n_loads)) return false;
+  result.loads.reserve(n_loads);
+  for (std::uint32_t i = 0; i < n_loads; ++i) {
+    std::uint32_t payload_len = 0;
+    if (!take_u32(bytes, &payload_len) || bytes.size() < payload_len) {
+      return false;
+    }
+    browser::LoadResult load;
+    // The nested deserializer enforces exact consumption of its slice, so a
+    // mis-framed payload fails here instead of shifting later loads.
+    if (!browser::deserialize_load_result(bytes.substr(0, payload_len),
+                                          &load)) {
+      return false;
+    }
+    result.loads.push_back(std::move(load));
+    bytes.remove_prefix(payload_len);
+  }
+  if (!bytes.empty()) return false;  // trailing garbage
+  *out = std::move(result);
+  return true;
+}
+
 }  // namespace vroom::harness

@@ -26,6 +26,9 @@ struct CleanEnv {
   ScopedEnv progress{"VROOM_PROGRESS", nullptr};
   ScopedEnv metrics{"VROOM_METRICS", nullptr};
   ScopedEnv profile{"VROOM_PROFILE", nullptr};
+  ScopedEnv shard{"VROOM_SHARD", nullptr};
+  ScopedEnv shard_dir{"VROOM_SHARD_DIR", nullptr};
+  ScopedEnv cache_max{"VROOM_CACHE_MAX_BYTES", nullptr};
 };
 
 TEST(Env, DefaultsWhenUnset) {
@@ -41,6 +44,66 @@ TEST(Env, DefaultsWhenUnset) {
   EXPECT_EQ(env.metrics_dir, "");
   EXPECT_FALSE(env.metrics_enabled());
   EXPECT_FALSE(env.profile);
+  EXPECT_FALSE(env.shard.has_value());
+  EXPECT_EQ(env.shard_dir, "");
+  EXPECT_EQ(env.cache_max_bytes, 0);
+}
+
+// The typed VROOM_SHARD=i/N accessor: the fleet and scripts/sweep_shards.sh
+// share this one parser, so its rejection rules are load-bearing.
+TEST(Env, ShardSpecParsesValidSpecs) {
+  CleanEnv clean;
+  {
+    ScopedEnv shard("VROOM_SHARD", "0/4");
+    const auto spec = harness::Env::from_environment().shard;
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->index, 0);
+    EXPECT_EQ(spec->count, 4);
+  }
+  {
+    ScopedEnv shard("VROOM_SHARD", "3/4");
+    const auto spec = harness::Env::from_environment().shard;
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(*spec, (harness::ShardSpec{3, 4}));
+  }
+  {
+    // The degenerate single-shard sweep is valid: i/1 runs everything.
+    ScopedEnv shard("VROOM_SHARD", "0/1");
+    EXPECT_EQ(harness::Env::from_environment().shard,
+              (harness::ShardSpec{0, 1}));
+  }
+}
+
+TEST(Env, ShardSpecRejectsMalformedSpecs) {
+  CleanEnv clean;
+  // N == 0, i >= N, negatives, partial parses, missing halves — all read
+  // as unset through the unified [env] warning path.
+  for (const char* bad :
+       {"", "4", "4/", "/4", "1/0", "4/4", "5/4", "-1/4", "1/-4", "a/4",
+        "1/b", "1/4x", " 1/4", "1/4 ", "1//4", "0x1/4", "1.0/4"}) {
+    ScopedEnv shard("VROOM_SHARD", bad);
+    EXPECT_FALSE(harness::Env::from_environment().shard.has_value())
+        << "VROOM_SHARD=\"" << bad << '"';
+  }
+}
+
+TEST(Env, ShardDirAndCacheMaxBytes) {
+  CleanEnv clean;
+  ScopedEnv dir("VROOM_SHARD_DIR", "/tmp/vroom-shards");
+  // > INT_MAX on purpose: the cap is a 64-bit byte count.
+  ScopedEnv cap("VROOM_CACHE_MAX_BYTES", "5000000000");
+  const harness::Env env = harness::Env::from_environment();
+  EXPECT_EQ(env.shard_dir, "/tmp/vroom-shards");
+  EXPECT_EQ(env.cache_max_bytes, 5000000000LL);
+}
+
+TEST(Env, CacheMaxBytesRejectsMalformed) {
+  CleanEnv clean;
+  for (const char* bad : {"", "0", "-1", "1g", "1.5", " 1"}) {
+    ScopedEnv cap("VROOM_CACHE_MAX_BYTES", bad);
+    EXPECT_EQ(harness::Env::from_environment().cache_max_bytes, 0)
+        << "VROOM_CACHE_MAX_BYTES=\"" << bad << '"';
+  }
 }
 
 TEST(Env, MetricsAndProfileKnobs) {

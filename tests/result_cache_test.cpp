@@ -137,30 +137,32 @@ TEST(CacheKey, CoversEveryAxisOfJobIdentity) {
                        std::uint64_t nonce) {
     return harness::result_cache_key(s, o, page, nonce);
   };
-  const std::string reference = key(baselines::vroom(), base, 7, 99);
-  // Deterministic.
-  EXPECT_EQ(reference, key(baselines::vroom(), base, 7, 99));
+  const harness::CacheKey reference = key(baselines::vroom(), base, 7, 99);
+  // Deterministic, and the precomputed hash tracks the key string.
+  EXPECT_EQ(reference.str(), key(baselines::vroom(), base, 7, 99).str());
+  EXPECT_EQ(reference.hash(), key(baselines::vroom(), base, 7, 99).hash());
 
   std::set<std::string> keys;
-  keys.insert(reference);
+  keys.insert(reference.str());
   harness::RunOptions seed = base;
   seed.seed = 43;
-  keys.insert(key(baselines::vroom(), seed, 7, 99));
+  keys.insert(key(baselines::vroom(), seed, 7, 99).str());
   harness::RunOptions when = base;
   when.when = sim::days(46);
-  keys.insert(key(baselines::vroom(), when, 7, 99));
+  keys.insert(key(baselines::vroom(), when, 7, 99).str());
   harness::RunOptions user = base;
   user.user = 2;
-  keys.insert(key(baselines::vroom(), user, 7, 99));
+  keys.insert(key(baselines::vroom(), user, 7, 99).str());
   harness::RunOptions device = base;
   device.device = web::nexus10();
-  keys.insert(key(baselines::vroom(), device, 7, 99));
+  keys.insert(key(baselines::vroom(), device, 7, 99).str());
   harness::RunOptions network = base;
   network.network = net::NetworkConfig::threeg();
-  keys.insert(key(baselines::vroom(), network, 7, 99));
-  keys.insert(key(baselines::vroom(), base, 8, 99));    // page
-  keys.insert(key(baselines::vroom(), base, 7, 100));   // nonce
-  keys.insert(key(baselines::http2_baseline(), base, 7, 99));  // strategy
+  keys.insert(key(baselines::vroom(), network, 7, 99).str());
+  keys.insert(key(baselines::vroom(), base, 8, 99).str());    // page
+  keys.insert(key(baselines::vroom(), base, 7, 100).str());   // nonce
+  keys.insert(
+      key(baselines::http2_baseline(), base, 7, 99).str());  // strategy
   EXPECT_EQ(keys.size(), 9u) << "two axes collided";
 }
 
@@ -187,7 +189,7 @@ TEST(CacheKey, StrategyFingerprintCoversProviderKnobs) {
 TEST(ResultCache, GetMissesThenHitsAfterPut) {
   const std::string dir = fresh_dir("basic");
   harness::ResultCache cache(dir);
-  const std::string key =
+  const harness::CacheKey key =
       harness::result_cache_key(baselines::vroom(), {}, 3, 17);
   EXPECT_FALSE(cache.get(key).has_value());
   browser::LoadResult r;
@@ -208,7 +210,7 @@ TEST(ResultCache, GetMissesThenHitsAfterPut) {
 TEST(ResultCache, CorruptAndMismatchedEntriesDegradeToMisses) {
   const std::string dir = fresh_dir("corrupt");
   harness::ResultCache cache(dir);
-  const std::string key =
+  const harness::CacheKey key =
       harness::result_cache_key(baselines::vroom(), {}, 3, 17);
   browser::LoadResult r;
   r.plt = sim::ms(10);

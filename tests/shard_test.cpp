@@ -1,0 +1,454 @@
+// Cross-process sharded sweeps (DESIGN.md §14): shard_cell_range must
+// partition the plan exactly, shard workers must publish cells that
+// merge_shards reassembles byte-identically to a single-process run at any
+// (shard count × worker count), a missing or damaged cell file must be a
+// hard diagnosable error, and cache_gc must sweep stale salt generations
+// before LRU-evicting the current one down to the size cap.
+#include "fleet/fleet.h"
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/strategies.h"
+#include "harness/experiment.h"
+#include "harness/export.h"
+#include "harness/result_cache.h"
+#include "scoped_env.h"
+#include "web/corpus.h"
+
+namespace vroom {
+namespace {
+
+using testutil::ScopedEnv;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "vroom_shard_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Clears every knob that could leak into a run_plan under test; individual
+// tests then layer the shard knobs they need on top.
+struct CleanEnv {
+  ScopedEnv jobs{"VROOM_JOBS", nullptr};
+  ScopedEnv pages{"VROOM_BENCH_PAGES", nullptr};
+  ScopedEnv cache{"VROOM_RESULT_CACHE", nullptr};
+  ScopedEnv trace{"VROOM_TRACE", nullptr};
+  ScopedEnv out{"VROOM_OUT_DIR", nullptr};
+  ScopedEnv progress{"VROOM_PROGRESS", nullptr};
+  ScopedEnv metrics{"VROOM_METRICS", nullptr};
+  ScopedEnv profile{"VROOM_PROFILE", nullptr};
+  ScopedEnv shard{"VROOM_SHARD", nullptr};
+  ScopedEnv shard_dir{"VROOM_SHARD_DIR", nullptr};
+  ScopedEnv cache_max{"VROOM_CACHE_MAX_BYTES", nullptr};
+};
+
+void expect_identical(const browser::LoadResult& a,
+                      const browser::LoadResult& b) {
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.plt, b.plt);
+  EXPECT_EQ(a.aft, b.aft);
+  EXPECT_EQ(a.speed_index_ms, b.speed_index_ms);  // bitwise, not approx
+  EXPECT_EQ(a.ttfb, b.ttfb);
+  EXPECT_EQ(a.first_paint, b.first_paint);
+  EXPECT_EQ(a.dom_content_loaded, b.dom_content_loaded);
+  EXPECT_EQ(a.net_wait, b.net_wait);
+  EXPECT_EQ(a.cpu_busy, b.cpu_busy);
+  EXPECT_EQ(a.bytes_fetched, b.bytes_fetched);
+  EXPECT_EQ(a.wasted_bytes, b.wasted_bytes);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  ASSERT_EQ(a.timings.size(), b.timings.size());
+  for (std::size_t i = 0; i < a.timings.size(); ++i) {
+    EXPECT_EQ(a.timings[i].url, b.timings[i].url);
+    EXPECT_EQ(a.timings[i].bytes, b.timings[i].bytes);
+    EXPECT_EQ(a.timings[i].discovered, b.timings[i].discovered);
+    EXPECT_EQ(a.timings[i].complete, b.timings[i].complete);
+  }
+  ASSERT_EQ(a.trace_counters.size(), b.trace_counters.size());
+  for (std::size_t i = 0; i < a.trace_counters.size(); ++i) {
+    EXPECT_EQ(a.trace_counters[i], b.trace_counters[i]);
+  }
+}
+
+TEST(CorpusResultSerialization, RoundTripsEveryField) {
+  harness::CorpusResult r;
+  r.strategy = "Vroom (News+Sports)";
+  browser::LoadResult a;
+  a.finished = true;
+  a.plt = sim::ms(4321);
+  a.speed_index_ms = 1.0 / 3.0;  // must survive bit-exactly
+  a.requests = 12;
+  browser::ResourceTiming t;
+  t.url = "https://example.com/a?x=1&y=2";
+  t.bytes = 777;
+  a.timings.push_back(t);
+  a.trace_counters.emplace_back("net.bytes", INT64_MAX);
+  browser::LoadResult b;
+  b.finished = false;
+  b.plt = sim::kNever;
+  b.net_wait = -1;
+  r.loads = {a, b};
+
+  const std::string bytes = harness::serialize_corpus_result(r);
+  harness::CorpusResult back;
+  ASSERT_TRUE(harness::deserialize_corpus_result(bytes, &back));
+  EXPECT_EQ(back.strategy, r.strategy);
+  ASSERT_EQ(back.loads.size(), r.loads.size());
+  for (std::size_t i = 0; i < r.loads.size(); ++i) {
+    expect_identical(r.loads[i], back.loads[i]);
+  }
+}
+
+TEST(CorpusResultSerialization, RejectsCorruptBytes) {
+  harness::CorpusResult r;
+  r.strategy = "s";
+  r.loads.emplace_back();
+  const std::string bytes = harness::serialize_corpus_result(r);
+  harness::CorpusResult out;
+  EXPECT_FALSE(harness::deserialize_corpus_result("", &out));
+  for (std::size_t cut :
+       {std::size_t{1}, std::size_t{5}, bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_FALSE(harness::deserialize_corpus_result(
+        std::string_view(bytes).substr(0, cut), &out))
+        << "truncated at " << cut;
+  }
+  EXPECT_FALSE(harness::deserialize_corpus_result(bytes + "x", &out));
+  std::string wrong_version = bytes;
+  wrong_version[0] = static_cast<char>(wrong_version[0] + 1);
+  EXPECT_FALSE(harness::deserialize_corpus_result(wrong_version, &out));
+}
+
+TEST(ShardCellRange, PartitionsCellsExactlyForAnyCount) {
+  for (int n_cells = 0; n_cells <= 9; ++n_cells) {
+    for (int count = 1; count <= 6; ++count) {
+      int covered = 0;
+      int prev_end = 0;
+      for (int i = 0; i < count; ++i) {
+        const auto [begin, end] =
+            fleet::shard_cell_range(n_cells, fleet::ShardSpec{i, count});
+        EXPECT_EQ(begin, prev_end) << n_cells << " cells, shard " << i << "/"
+                                   << count;
+        EXPECT_LE(begin, end);
+        prev_end = end;
+        covered += end - begin;
+      }
+      EXPECT_EQ(prev_end, n_cells);
+      EXPECT_EQ(covered, n_cells);
+    }
+  }
+}
+
+// A three-cell plan shared by the sharding tests: two strategies over one
+// corpus plus a third cell over a different corpus/seed, so cell slices are
+// uneven for every shard count > 1.
+fleet::SweepPlan test_plan(const web::Corpus& a, const web::Corpus& b) {
+  harness::RunOptions opt_b;
+  opt_b.seed = 7;
+  fleet::SweepPlan plan;
+  plan.add(a, baselines::http2_baseline());
+  plan.add(a, baselines::vroom());
+  plan.add(b, baselines::vroom(), opt_b, "Vroom (B)");
+  return plan;
+}
+
+void expect_same_results(const std::vector<harness::CorpusResult>& want,
+                         const std::vector<harness::CorpusResult>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t c = 0; c < want.size(); ++c) {
+    EXPECT_EQ(want[c].strategy, got[c].strategy);
+    ASSERT_EQ(want[c].loads.size(), got[c].loads.size()) << "cell " << c;
+    for (std::size_t p = 0; p < want[c].loads.size(); ++p) {
+      expect_identical(want[c].loads[p], got[c].loads[p]);
+    }
+    // The CSV a bench would export from these results must be
+    // byte-identical, not just field-by-field equal.
+    EXPECT_EQ(
+        harness::series_to_csv({{want[c].strategy, want[c].plt_seconds()}}),
+        harness::series_to_csv({{got[c].strategy, got[c].plt_seconds()}}));
+  }
+}
+
+// The acceptance shape: run the plan as N shard processes' worth of work
+// (sequentially in-process — the mode switch is pure environment), merge,
+// and compare against the one-process sweep, across shard counts × worker
+// counts. Shard counts beyond the cell count leave some shards empty-owned;
+// those must still merge cleanly.
+TEST(ShardSweep, MergeMatchesSingleProcessAcrossShardAndWorkerCounts) {
+  CleanEnv clean;
+  const web::Corpus corpus_a = web::Corpus::smoke(7, 3);
+  const web::Corpus corpus_b = web::Corpus::smoke(9, 2);
+  const fleet::SweepPlan plan = test_plan(corpus_a, corpus_b);
+  const auto reference = fleet::run_plan(plan);
+
+  for (int shards : {1, 2, 4}) {
+    for (const char* jobs : {"1", "2"}) {
+      SCOPED_TRACE(std::string("shards=") + std::to_string(shards) +
+                   " jobs=" + jobs);
+      ScopedEnv jobs_env("VROOM_JOBS", jobs);
+      const std::string dir = fresh_dir(
+          "sweep_" + std::to_string(shards) + "_" + jobs);
+      ScopedEnv dir_env("VROOM_SHARD_DIR", dir.c_str());
+      for (int i = 0; i < shards; ++i) {
+        const std::string spec =
+            std::to_string(i) + "/" + std::to_string(shards);
+        ScopedEnv shard_env("VROOM_SHARD", spec.c_str());
+        const auto partial = fleet::run_plan(plan);
+        // A shard returns only its owned slice; unowned cells stay empty.
+        const auto [begin, end] = fleet::shard_cell_range(
+            static_cast<int>(plan.cells.size()),
+            fleet::ShardSpec{i, shards});
+        for (int c = 0; c < static_cast<int>(partial.size()); ++c) {
+          EXPECT_EQ(!partial[static_cast<std::size_t>(c)].loads.empty(),
+                    c >= begin && c < end)
+              << "cell " << c;
+        }
+      }
+      // VROOM_SHARD_DIR without VROOM_SHARD switches run_plan to merge.
+      const auto merged = fleet::run_plan(plan);
+      expect_same_results(reference, merged);
+      // And the first-class API agrees with the env-selected mode.
+      fleet::ShardMerge direct = fleet::merge_shards(plan, dir);
+      EXPECT_TRUE(direct.error.empty()) << direct.error;
+      expect_same_results(reference, direct.results);
+      for (std::uint64_t digest : direct.cell_digests) {
+        EXPECT_NE(digest, 0u);
+      }
+    }
+  }
+}
+
+TEST(ShardSweep, MissingShardCellIsHardDiagnosableError) {
+  CleanEnv clean;
+  const web::Corpus corpus_a = web::Corpus::smoke(7, 2);
+  const web::Corpus corpus_b = web::Corpus::smoke(9, 2);
+  const fleet::SweepPlan plan = test_plan(corpus_a, corpus_b);
+  const std::string dir = fresh_dir("missing");
+  {
+    ScopedEnv dir_env("VROOM_SHARD_DIR", dir.c_str());
+    ScopedEnv shard_env("VROOM_SHARD", "0/2");
+    fleet::run_plan(plan);  // shard 1 of 2 (cells 1 and 2) never runs
+  }
+  const fleet::ShardMerge merge = fleet::merge_shards(plan, dir);
+  ASSERT_FALSE(merge.error.empty());
+  // The error must name the offending file and cell so the operator can see
+  // which shard to re-run.
+  EXPECT_NE(merge.error.find(fleet::shard_cell_path(dir, 1)),
+            std::string::npos)
+      << merge.error;
+  EXPECT_NE(merge.error.find("missing"), std::string::npos) << merge.error;
+}
+
+TEST(ShardSweep, RejectsStaleSaltAndCorruptAndMislabeledCells) {
+  CleanEnv clean;
+  const web::Corpus corpus_a = web::Corpus::smoke(7, 2);
+  const web::Corpus corpus_b = web::Corpus::smoke(9, 2);
+  const fleet::SweepPlan plan = test_plan(corpus_a, corpus_b);
+  const std::string dir = fresh_dir("damaged");
+  {
+    ScopedEnv dir_env("VROOM_SHARD_DIR", dir.c_str());
+    ScopedEnv shard_env("VROOM_SHARD", "0/1");
+    fleet::run_plan(plan);
+  }
+  ASSERT_TRUE(fleet::merge_shards(plan, dir).error.empty());
+
+  const auto clobber = [&](int cell, const std::string& bytes) {
+    std::ofstream f(fleet::shard_cell_path(dir, cell),
+                    std::ios::binary | std::ios::trunc);
+    f << bytes;
+  };
+  const auto restore_ok = [&]() {
+    std::filesystem::remove(fleet::shard_cell_path(dir, 1));
+    ScopedEnv dir_env("VROOM_SHARD_DIR", dir.c_str());
+    ScopedEnv shard_env("VROOM_SHARD", "0/1");
+    fleet::run_plan(plan);
+  };
+
+  clobber(1, "garbage, not a cell file");
+  EXPECT_NE(fleet::merge_shards(plan, dir).error.find("bad magic"),
+            std::string::npos);
+  restore_ok();
+
+  // Flip the embedded salt generation: a cell simulated by older code must
+  // be refused, mirroring the result cache's generation discipline.
+  {
+    std::ifstream in(fleet::shard_cell_path(dir, 1), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GE(bytes.size(), 12u);
+    bytes[4] = static_cast<char>(bytes[4] + 1);
+    clobber(1, bytes);
+  }
+  EXPECT_NE(fleet::merge_shards(plan, dir).error.find("stale salt"),
+            std::string::npos);
+  restore_ok();
+
+  // Merging against a different plan (labels disagree) must be refused.
+  fleet::SweepPlan other = test_plan(corpus_a, corpus_b);
+  other.cells[1].label = "renamed";
+  const std::string err = fleet::merge_shards(other, dir).error;
+  EXPECT_NE(err.find("renamed"), std::string::npos) << err;
+}
+
+// --- Cache GC -----------------------------------------------------------
+
+// Crafts a cache entry file of an older salt generation: correct header
+// (magic + key length + key starting "v<gen>|"), junk payload — cache_gc
+// only parses the header.
+void write_stale_entry(const std::string& dir, const std::string& name,
+                       int generation) {
+  const std::string key = "v" + std::to_string(generation) + "|old-entry";
+  std::string bytes = "VRC1";
+  const std::uint32_t len = static_cast<std::uint32_t>(key.size());
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  bytes += key;
+  bytes += std::string(512, 'x');  // payload junk, never parsed by GC
+  std::ofstream f(dir + "/" + name, std::ios::binary | std::ios::trunc);
+  f << bytes;
+}
+
+TEST(CacheGc, SweepsStaleGenerationsBeforeEvictingCurrentOnes) {
+  CleanEnv clean;
+  const std::string dir = fresh_dir("gc");
+  harness::ResultCache cache(dir);
+  std::filesystem::create_directories(dir);  // cache mkdirs lazily on put
+
+  // Four current-generation entries, mapped key -> file by diffing the
+  // directory around each put.
+  const auto dir_files = [&]() {
+    std::set<std::string> files;
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+      files.insert(e.path().string());
+    }
+    return files;
+  };
+  std::vector<harness::CacheKey> keys;
+  std::vector<std::string> files;
+  for (std::uint64_t nonce : {11u, 22u, 33u, 44u}) {
+    keys.push_back(
+        harness::result_cache_key(baselines::vroom(), {}, 3, nonce));
+    const auto before = dir_files();
+    browser::LoadResult r;
+    r.plt = sim::ms(static_cast<std::int64_t>(nonce));
+    cache.put(keys.back(), r);
+    const auto after = dir_files();
+    ASSERT_EQ(after.size(), before.size() + 1);
+    for (const auto& f : after) {
+      if (before.count(f) == 0) files.push_back(f);
+    }
+  }
+
+  // Two stale-generation entries with the *newest* mtimes: if GC ran pure
+  // LRU they would survive; the generation sweep must delete them first.
+  write_stale_entry(dir, "stale_a.vrc", harness::kResultCacheSaltVersion - 1);
+  write_stale_entry(dir, "stale_b.vrc", 1);
+  const auto now = std::filesystem::file_time_type::clock::now();
+  std::filesystem::last_write_time(dir + "/stale_a.vrc", now);
+  std::filesystem::last_write_time(dir + "/stale_b.vrc", now);
+  // Current entries: files[0] least recently used ... files[3] most recent.
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::filesystem::last_write_time(
+        files[i], now - std::chrono::hours(10 - static_cast<int>(i)));
+  }
+
+  // Cap = the two most-recent current entries: GC must sweep both stale
+  // entries, then evict exactly files[0] and files[1].
+  harness::GcPolicy policy;
+  policy.dir = dir;
+  policy.max_bytes =
+      static_cast<std::int64_t>(std::filesystem::file_size(files[2]) +
+                                std::filesystem::file_size(files[3]));
+  const harness::GcStats stats = harness::cache_gc(policy);
+  EXPECT_EQ(stats.scanned, 6u);
+  EXPECT_EQ(stats.stale_deleted, 2u);
+  EXPECT_EQ(stats.evicted, 2u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_LE(stats.remaining_bytes,
+            static_cast<std::uint64_t>(policy.max_bytes));
+
+  EXPECT_FALSE(std::filesystem::exists(dir + "/stale_a.vrc"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/stale_b.vrc"));
+  EXPECT_FALSE(std::filesystem::exists(files[0]));
+  EXPECT_FALSE(std::filesystem::exists(files[1]));
+  // Retained entries still answer with verified hits after collection.
+  EXPECT_FALSE(cache.get(keys[0]).has_value());
+  EXPECT_FALSE(cache.get(keys[1]).has_value());
+  EXPECT_TRUE(cache.get(keys[2]).has_value());
+  EXPECT_TRUE(cache.get(keys[3]).has_value());
+}
+
+TEST(CacheGc, NoCapSweepsOnlyStaleGenerations) {
+  CleanEnv clean;
+  const std::string dir = fresh_dir("gc_sweep_only");
+  harness::ResultCache cache(dir);
+  const harness::CacheKey key =
+      harness::result_cache_key(baselines::vroom(), {}, 3, 17);
+  browser::LoadResult r;
+  r.plt = sim::ms(10);
+  cache.put(key, r);
+  write_stale_entry(dir, "stale.vrc", 2);
+  // Unparseable entries are dead weight too: deleted and counted as errors.
+  {
+    std::ofstream f(dir + "/junk.vrc", std::ios::binary);
+    f << "short";
+  }
+
+  harness::GcPolicy policy;
+  policy.dir = dir;  // max_bytes stays 0: no size cap
+  const harness::GcStats stats = harness::cache_gc(policy);
+  EXPECT_EQ(stats.scanned, 3u);
+  EXPECT_EQ(stats.stale_deleted, 1u);
+  EXPECT_EQ(stats.evicted, 0u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_TRUE(cache.get(key).has_value());
+}
+
+// Hit-bumped mtimes are what makes the eviction LRU rather than FIFO: a
+// get() must refresh the entry's clock so hot entries outlive cold ones
+// that were stored later.
+TEST(CacheGc, VerifiedHitsRefreshTheLruClock) {
+  CleanEnv clean;
+  const std::string dir = fresh_dir("gc_lru");
+  harness::ResultCache cache(dir);
+  const harness::CacheKey hot =
+      harness::result_cache_key(baselines::vroom(), {}, 3, 1);
+  const harness::CacheKey cold =
+      harness::result_cache_key(baselines::vroom(), {}, 3, 2);
+  browser::LoadResult r;
+  r.plt = sim::ms(10);
+  cache.put(hot, r);
+  cache.put(cold, r);
+  // Age both entries, then touch `hot` via a verified hit.
+  const auto past =
+      std::filesystem::file_time_type::clock::now() - std::chrono::hours(5);
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    std::filesystem::last_write_time(e.path(), past);
+  }
+  ASSERT_TRUE(cache.get(hot).has_value());
+
+  // Cap = the largest single entry: exactly one of the two must go, and
+  // LRU says it is `cold` — even though `hot` was stored first.
+  std::uintmax_t largest = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    largest = std::max(largest, std::filesystem::file_size(e.path()));
+  }
+  harness::GcPolicy policy;
+  policy.dir = dir;
+  policy.max_bytes = static_cast<std::int64_t>(largest);
+  const harness::GcStats stats = harness::cache_gc(policy);
+  EXPECT_EQ(stats.evicted, 1u);
+  EXPECT_FALSE(cache.get(cold).has_value());
+  EXPECT_TRUE(cache.get(hot).has_value());
+}
+
+}  // namespace
+}  // namespace vroom
