@@ -60,5 +60,18 @@ int main() {
                 sim::to_seconds(b.age) / 3600.0, 100.0 * b.persistence,
                 static_cast<long long>(b.serves), b.mean_micro_plt_s);
   }
+
+  // Wall-plane throughput of the macro pass, on stderr: stdout is frozen by
+  // the byte-identity goldens, and this number varies run to run.
+  if (report.macro_wall_seconds > 0) {
+    std::fprintf(stderr,
+                 "[bench] macro: %lld arrivals in %.3fs wall = %.0f "
+                 "serves/sec (warm column %.3fs)\n",
+                 static_cast<long long>(report.macro_arrivals),
+                 report.macro_wall_seconds,
+                 static_cast<double>(report.macro_arrivals) /
+                     report.macro_wall_seconds,
+                 report.warm_wall_seconds);
+  }
   return 0;
 }

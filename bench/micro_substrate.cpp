@@ -14,11 +14,13 @@
 #include "baselines/strategies.h"
 #include "core/accuracy.h"
 #include "core/offline_resolver.h"
+#include "deploy/scenario.h"
 #include "harness/env.h"
 #include "harness/experiment.h"
 #include "net/tcp.h"
 #include "obs/metrics.h"
 #include "obs/phase_profiler.h"
+#include "web/corpus.h"
 #include "web/page_generator.h"
 
 namespace {
@@ -150,6 +152,30 @@ BENCHMARK(BM_LoadsPerSecond)
                     static_cast<int>(web::PageClass::Sports),
                     static_cast<int>(web::PageClass::Mixed400)},
                    {0, 1}});
+
+// The tracked deployment-macro throughput baseline: arrivals replayed per
+// wall-clock second through the shared front-end + origin-link contention
+// pass. Manual time is the scenario's own macro wall clock, so the micro
+// PLT table each iteration rebuilds does not dilute the rate —
+// items_per_second IS macro serves/sec, the number ext_deployment prints
+// to stderr and bench_regression.sh gates.
+void BM_DeployMacroServesPerSecond(benchmark::State& state) {
+  const web::Corpus corpus = web::Corpus::mixed400_sample(42, 6);
+  deploy::ScenarioConfig cfg;
+  cfg.seed = 42;
+  cfg.population.window = sim::hours(1);
+  cfg.offered_levels = {0.5, 2.0};
+  cfg.stale_ages = {sim::hours(1)};
+  std::int64_t arrivals = 0;
+  for (auto _ : state) {
+    const deploy::DeploymentReport r = deploy::run_deployment(corpus, cfg);
+    arrivals += r.macro_arrivals;
+    state.SetIterationTime(std::max(r.macro_wall_seconds, 1e-9));
+  }
+  state.SetItemsProcessed(arrivals);
+  state.counters["peak_rss_bytes"] = peak_rss_bytes();
+}
+BENCHMARK(BM_DeployMacroServesPerSecond)->UseManualTime()->Iterations(3);
 
 void BM_AccuracyMeasurement(benchmark::State& state) {
   const web::PageModel page = web::generate_page(42, 7, web::PageClass::News);

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tolerance-banded loads/sec regression gate: re-measures the tracked
-# BM_LoadsPerSecond series and fails when any variant's items_per_second
-# drops more than VROOM_BENCH_TOLERANCE below the committed baseline.
+# Tolerance-banded throughput regression gate: re-measures the tracked
+# series — BM_LoadsPerSecond (end-to-end loads/sec) and
+# BM_DeployMacroServesPerSecond (deployment macro serves/sec) — and fails
+# when any variant's items_per_second drops more than
+# VROOM_BENCH_TOLERANCE below the committed baseline.
 #
 #   scripts/bench_regression.sh <build_dir> [baseline_json]
 #
@@ -36,7 +38,7 @@ if ! command -v python3 > /dev/null 2>&1; then
   exit 77
 fi
 
-VROOM_BENCH_FILTER='BM_LoadsPerSecond' \
+VROOM_BENCH_FILTER='BM_LoadsPerSecond|BM_DeployMacroServesPerSecond' \
 VROOM_BENCH_MIN_TIME="${VROOM_BENCH_MIN_TIME:-0.05}" \
   "$repo_root/scripts/bench_substrate.sh" "$build_dir" "$fresh" > /dev/null
 
@@ -44,17 +46,19 @@ python3 - "$baseline" "$fresh" "$tolerance" <<'EOF'
 import json
 import sys
 
+TRACKED = ("BM_LoadsPerSecond", "BM_DeployMacroServesPerSecond")
+
 def series(path):
     with open(path) as f:
         doc = json.load(f)
     return {b["name"]: b["items_per_second"]
             for b in doc["benchmarks"]
-            if b["name"].startswith("BM_LoadsPerSecond")
+            if b["name"].startswith(TRACKED)
             and b.get("run_type", "iteration") != "aggregate"}
 
 base, fresh, tol = series(sys.argv[1]), series(sys.argv[2]), float(sys.argv[3])
-assert base, "baseline has no BM_LoadsPerSecond rows"
-assert fresh, "fresh run has no BM_LoadsPerSecond rows"
+assert base, "baseline has no tracked throughput rows"
+assert fresh, "fresh run has no tracked throughput rows"
 
 failures = []
 for name, ref in sorted(base.items()):
@@ -72,8 +76,8 @@ for name, ref in sorted(base.items()):
         failures.append(name)
 
 if failures:
-    print(f"loads/sec regression: {len(failures)} variant(s) below "
+    print(f"throughput regression: {len(failures)} variant(s) below "
           f"{100 * (1 - tol):.0f}% of baseline", file=sys.stderr)
     sys.exit(1)
-print(f"loads/sec gate ok: {len(base)} variants within tolerance {tol}")
+print(f"throughput gate ok: {len(base)} variants within tolerance {tol}")
 EOF

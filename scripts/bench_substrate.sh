@@ -16,6 +16,9 @@
 # The interesting series for cross-commit comparison:
 #   BM_LoadsPerSecond/...  items_per_second  = end-to-end loads/sec
 #                          sim_events_per_sec, peak_rss_bytes counters
+#   BM_DeployMacroServesPerSecond
+#                          items_per_second  = deployment macro serves/sec
+#                          (manual time: the scenario's macro wall clock)
 # Compare against the previous baseline with e.g.
 #   jq '.benchmarks[] | select(.name|startswith("BM_LoadsPerSecond"))
 #       | {name, items_per_second}' BENCH_substrate.json

@@ -1,6 +1,7 @@
 #include "deploy/front_end.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "server/replay_store.h"
 #include "sim/arena.h"
@@ -53,6 +54,24 @@ sim::Time FrontEnd::last_crawl(sim::Time now, int page_index) const {
 int FrontEnd::generate(int page_index, const web::DeviceProfile& device,
                        sim::Time crawl_t) {
   ++stats_.generations;
+  // Memo key over everything the resolution can observe: the page, the
+  // snapshot time, and the device's full identity (name and cpu_scale
+  // included — cheaper to hash than to prove they cannot matter).
+  std::uint64_t cpu_bits = 0;
+  static_assert(sizeof cpu_bits == sizeof device.cpu_scale);
+  std::memcpy(&cpu_bits, &device.cpu_scale, sizeof cpu_bits);
+  std::uint64_t fingerprint = sim::hash64(device.name);
+  fingerprint = sim::derive_seed(
+      fingerprint, static_cast<std::uint64_t>(device.screen * 9 +
+                                              device.dpi * 3 + device.width));
+  fingerprint = sim::derive_seed(fingerprint, cpu_bits);
+  const std::uint64_t memo_key = sim::derive_seed(
+      sim::derive_seed(static_cast<std::uint64_t>(page_index),
+                       static_cast<std::uint64_t>(crawl_t)),
+      fingerprint);
+  if (const auto it = memo_.find(memo_key); it != memo_.end()) {
+    return it->second;
+  }
   const web::PageModel& model =
       corpus_.page(static_cast<std::size_t>(page_index));
   // The crawl's load identity: wall time of the snapshot, the arrival's
@@ -82,7 +101,9 @@ int FrontEnd::generate(int page_index, const web::DeviceProfile& device,
   root.device = device;
   const server::DependencyAdvice advice =
       provider.advise(model.first_party(), root);
-  return static_cast<int>(advice.hints.hints.size());
+  const int hints = static_cast<int>(advice.hints.hints.size());
+  memo_.emplace(memo_key, hints);
+  return hints;
 }
 
 sim::Time FrontEnd::charge_worker(sim::Time now, sim::Time cost) {

@@ -134,6 +134,15 @@ class FrontEnd {
   // Resolves the crawl-snapshot advice for (page, device) at snapshot time
   // `crawl_t`; returns the hint count. This is the expensive step the
   // cache and the worker pool exist to amortize.
+  //
+  // The resolved count is a pure function of (page, device, crawl_t): the
+  // crawl nonce derives from (seed, page, crawl_t) alone, so repeat
+  // generations of one snapshot rebuild an identical crawl world. Those
+  // repeats — stale refreshes and evicted-entry re-misses of hot pages —
+  // dominate the deployment macro pass's CPU, so the count is memoized in
+  // `memo_`. Only the simulator shortcut is cached: the *model* still
+  // performs every generation (stats_.generations counts them all, and
+  // callers still charge the worker pool per call).
   int generate(int page_index, const web::DeviceProfile& device,
                sim::Time crawl_t);
 
@@ -153,6 +162,9 @@ class FrontEnd {
   // LRU: most-recent at front; map points into the list.
   std::list<CacheEntry> lru_;
   std::unordered_map<std::uint64_t, std::list<CacheEntry>::iterator> index_;
+  // generate() results keyed by (page, full device identity, crawl_t);
+  // bounded by the distinct snapshots of the traffic window.
+  std::unordered_map<std::uint64_t, int> memo_;
 };
 
 }  // namespace vroom::deploy

@@ -18,10 +18,11 @@ namespace {
 class ZipfSampler {
  public:
   ZipfSampler(int n, double s) {
-    cum_.reserve(static_cast<std::size_t>(n));
+    const std::vector<double> w = zipf_weights(n, s);
+    cum_.reserve(w.size());
     double total = 0.0;
-    for (int r = 0; r < n; ++r) {
-      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    for (const double v : w) {
+      total += v;
       cum_.push_back(total);
     }
   }
@@ -37,6 +38,15 @@ class ZipfSampler {
 };
 
 }  // namespace
+
+std::vector<double> zipf_weights(int n, double s) {
+  std::vector<double> w(static_cast<std::size_t>(std::max(0, n)));
+  for (int r = 0; r < n; ++r) {
+    w[static_cast<std::size_t>(r)] =
+        1.0 / std::pow(static_cast<double>(r + 1), s);
+  }
+  return w;
+}
 
 std::vector<DeviceShare> default_device_mix() {
   return {

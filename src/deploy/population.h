@@ -52,6 +52,14 @@ struct PopulationConfig {
 // evening peak); 24 per-hour multipliers with mean 1.0.
 std::vector<double> default_diurnal_profile();
 
+// Unnormalized Zipf weights over n ranks: weight(r) = 1/(r+1)^s. The one
+// definition of "which ranks are hot" shared by the population's user/page
+// samplers and the scenario's origin-link auto-sizing — the macro pass and
+// the link sizing must agree on page popularity, so neither keeps a copy.
+// Callers cumulative-sum or normalize as needed (in rank order, so every
+// caller's floating-point story stays exactly what it was).
+std::vector<double> zipf_weights(int n, double s);
+
 // Rate multiplier at virtual time `t` (hour-of-day resolution, cycling).
 double diurnal_multiplier(const PopulationConfig& cfg, sim::Time t);
 

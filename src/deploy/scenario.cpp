@@ -1,10 +1,16 @@
 #include "deploy/scenario.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <memory_resource>
+#include <new>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "browser/cache.h"
@@ -27,16 +33,24 @@ namespace vroom::deploy {
 
 namespace {
 
-// Zipf page-popularity weights, matching population.cpp's page sampler —
-// the macro and the link auto-sizing must agree on which origins are hot.
+[[noreturn]] void fatal(const std::string& message) {
+  std::fprintf(stderr, "[deploy] fatal: %s\n", message.c_str());
+  std::abort();
+}
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Zipf page-popularity weights, normalized; built from the same
+// deploy::zipf_weights the population's page sampler uses, so the macro
+// and the link auto-sizing agree on which origins are hot by construction.
 std::vector<double> page_weights(int pages, double skew) {
-  std::vector<double> w(static_cast<std::size_t>(pages));
+  std::vector<double> w = zipf_weights(pages, skew);
   double total = 0.0;
-  for (int p = 0; p < pages; ++p) {
-    w[static_cast<std::size_t>(p)] =
-        1.0 / std::pow(static_cast<double>(p + 1), skew);
-    total += w[static_cast<std::size_t>(p)];
-  }
+  for (const double v : w) total += v;
   for (double& v : w) v /= total;
   return w;
 }
@@ -46,17 +60,39 @@ sim::Time capped(sim::Time plt, sim::Time timeout) {
 }
 
 // Per-page traffic profile: bytes per origin domain, plus the fraction of
-// those bytes a warm (primed-cache) revisit still fetches.
+// those bytes a warm (primed-cache) revisit still fetches. Domains are
+// dense scenario-wide ids (see DomainTable) so the per-arrival hot loop
+// indexes a flat link table instead of probing a string map; within a page
+// they stay in domain-string order — the per-arrival loop iterates them,
+// so that order is part of the frozen trace byte stream.
 struct PageProfile {
-  std::vector<std::pair<std::string, std::int64_t>> domain_bytes;
+  std::vector<std::pair<std::uint32_t, std::int64_t>> domain_bytes;
   std::int64_t total_bytes = 0;
   double warm_bytes_frac = 1.0;
 };
 
-// Per-arrival macro metrics (DESIGN.md §12). The macro pass is serial and a
-// pure function of the simulated world, so everything recorded here lives
-// on the virtual plane and survives the cross-VROOM_JOBS byte-identity
-// check on the export.
+// Scenario-wide dense domain ids. Assignment order is first touch over
+// (page order, domain-string order within page) — deterministic, and
+// internal only: nothing exported mentions an id, names[] recovers the
+// label wherever traces need one.
+struct DomainTable {
+  std::vector<std::string> names;
+  std::unordered_map<std::string, std::uint32_t> ids;
+
+  std::uint32_t intern(const std::string& domain) {
+    const auto it = ids.find(domain);
+    if (it != ids.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(names.size());
+    names.push_back(domain);
+    ids.emplace(domain, id);
+    return id;
+  }
+};
+
+// Per-arrival macro metrics (DESIGN.md §12). Everything recorded here
+// lives on the virtual plane and is a pure function of the simulated
+// world; histogram records and the gauge max commute, so concurrent level
+// passes leave the export byte-identical to the serial order.
 void record_arrival_metrics(sim::Time origin_wait, sim::Time fe_wait) {
   if (!obs::metrics_enabled()) return;
   static obs::Histogram& origin_wait_us =
@@ -69,6 +105,21 @@ void record_arrival_metrics(sim::Time origin_wait, sim::Time fe_wait) {
   fe_wait_us.record(fe_wait);
   max_wait.set_max(origin_wait);
 }
+
+// One offered-load level's complete world and outcome. Levels are fully
+// independent — each owns its population, event loop, FrontEnd, links, and
+// recorder — so they run concurrently on the fleet pool; everything that
+// must come out in level order (the LevelReport, bucket-serve totals, the
+// trace sink) is kept here and assembled serially after the join.
+struct LevelRun {
+  LevelReport report;
+  std::vector<std::int64_t> bucket_serves;
+  // The loop outlives the recorder (the recorder holds a loop reference)
+  // and both outlive the task: cfg.trace_sink consumes the recorder in
+  // level order on the assembling thread.
+  std::unique_ptr<sim::EventLoop> loop;
+  std::unique_ptr<trace::Recorder> recorder;
+};
 
 }  // namespace
 
@@ -88,12 +139,24 @@ int MicroTable::bucket_for(HintSource source, sim::Time staleness) const {
 
 DeploymentReport run_deployment(const web::Corpus& corpus,
                                 const ScenarioConfig& cfg) {
+  const harness::Env env = harness::Env::from_environment();
+  if (env.shard.has_value() || !env.shard_dir.empty()) {
+    // Mirror fleet::run_plan's warm-cache refusal: sharding would split the
+    // embedded micro SweepPlan by cell while every shard process silently
+    // re-ran the whole warm column and macro passes — n copies of the
+    // expensive part and a merge that never sees them.
+    fatal("VROOM_SHARD/VROOM_SHARD_DIR are set, but the deployment "
+          "scenario cannot shard: only its micro SweepPlan would split "
+          "while the warm column and macro passes re-run whole in every "
+          "shard process. Unset them for deployment runs (shard the "
+          "figure sweeps instead; DESIGN.md §14)");
+  }
+
   DeploymentReport report;
   const int pages = static_cast<int>(corpus.size());
   report.pages = pages;
   if (pages == 0 || cfg.offered_levels.empty()) return report;
 
-  const harness::Env env = harness::Env::from_environment();
   PopulationConfig pop = cfg.population;
   if (env.deploy_window_hours > 0) {
     pop.window = sim::hours(env.deploy_window_hours);
@@ -146,40 +209,52 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
     }
   }
 
-  // Warm revisit column (Figure 20 style: prime, wait, revisit). Serial by
-  // nature — the browser cache's state depends on load order.
+  // Warm revisit column (Figure 20 style: prime, wait, revisit). Each
+  // (device, page) pair is an independent two-load story — its private
+  // browser::Cache makes the prime -> revisit order matter *within* the
+  // pair only — so pairs fan out on the pool; slots are pre-assigned, and
+  // one worker replays today's d-major, p-minor serial order.
   const baselines::Strategy fresh = conditions[0];
-  micro.warm_plt.assign(mix.size(), {});
+  const double warm_started = monotonic_seconds();
+  micro.warm_plt.assign(mix.size(),
+                        std::vector<sim::Time>(
+                            static_cast<std::size_t>(pages), 0));
   std::vector<double> warm_bytes_frac(static_cast<std::size_t>(pages), 1.0);
-  for (std::size_t d = 0; d < mix.size(); ++d) {
-    micro.warm_plt[d].reserve(static_cast<std::size_t>(pages));
-    for (int p = 0; p < pages; ++p) {
-      const web::PageModel& page = corpus.page(static_cast<std::size_t>(p));
-      browser::Cache cache;
-      harness::RunOptions opt = cfg.micro;
-      opt.seed = cfg.seed;
-      opt.device = mix[d].device;
-      opt.cache = &cache;
-      const browser::LoadResult cold = harness::run_page_load(
-          page, fresh, opt,
-          harness::derive_load_nonce(cfg.seed, page.page_id(), 0));
-      opt.when += cfg.revisit_gap;
-      const browser::LoadResult warm = harness::run_page_load(
-          page, fresh, opt,
-          harness::derive_load_nonce(cfg.seed, page.page_id(), 1));
-      micro.warm_plt[d].push_back(capped(warm.plt, cfg.micro.timeout));
-      if (d == 0 && cold.bytes_fetched > 0) {
-        warm_bytes_frac[static_cast<std::size_t>(p)] =
-            static_cast<double>(warm.bytes_fetched) /
-            static_cast<double>(cold.bytes_fetched);
-      }
-    }
-  }
+  fleet::run_tasks(
+      mix.size() * static_cast<std::size_t>(pages), [&](std::size_t task) {
+        const std::size_t d = task / static_cast<std::size_t>(pages);
+        const int p = static_cast<int>(task % static_cast<std::size_t>(pages));
+        const web::PageModel& page = corpus.page(static_cast<std::size_t>(p));
+        browser::Cache cache;
+        harness::RunOptions opt = cfg.micro;
+        opt.seed = cfg.seed;
+        opt.device = mix[d].device;
+        opt.cache = &cache;
+        const browser::LoadResult cold = harness::run_page_load(
+            page, fresh, opt,
+            harness::derive_load_nonce(cfg.seed, page.page_id(), 0));
+        opt.when += cfg.revisit_gap;
+        const browser::LoadResult warm = harness::run_page_load(
+            page, fresh, opt,
+            harness::derive_load_nonce(cfg.seed, page.page_id(), 1));
+        micro.warm_plt[d][static_cast<std::size_t>(p)] =
+            capped(warm.plt, cfg.micro.timeout);
+        if (d == 0 && cold.bytes_fetched > 0) {
+          warm_bytes_frac[static_cast<std::size_t>(p)] =
+              static_cast<double>(warm.bytes_fetched) /
+              static_cast<double>(cold.bytes_fetched);
+        }
+      });
+  report.warm_wall_seconds = monotonic_seconds() - warm_started;
 
   // --- Per-page origin traffic profiles (for link contention). ---
-  std::vector<PageProfile> profiles(static_cast<std::size_t>(pages));
-  for (int p = 0; p < pages; ++p) {
-    const web::PageModel& page = corpus.page(static_cast<std::size_t>(p));
+  // World construction fans out per page; the dense domain ids are
+  // interned afterwards in one serial pass so their assignment order is a
+  // pure function of the corpus, not of task scheduling.
+  std::vector<std::vector<std::pair<std::string, std::int64_t>>> by_page(
+      static_cast<std::size_t>(pages));
+  fleet::run_tasks(static_cast<std::size_t>(pages), [&](std::size_t p) {
+    const web::PageModel& page = corpus.page(p);
     web::LoadIdentity id;
     id.wall_time = cfg.micro.when;
     id.device = mix[0].device;
@@ -192,13 +267,29 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
     for (const web::InstanceResource& r : inst.resources()) {
       by_domain[web::url_domain(r.url)] += r.size;
     }
+    by_page[p].assign(by_domain.begin(), by_domain.end());
+  });
+
+  DomainTable domains;
+  std::vector<PageProfile> profiles(static_cast<std::size_t>(pages));
+  for (int p = 0; p < pages; ++p) {
     PageProfile& prof = profiles[static_cast<std::size_t>(p)];
     prof.warm_bytes_frac = warm_bytes_frac[static_cast<std::size_t>(p)];
-    for (const auto& [domain, bytes] : by_domain) {
-      prof.domain_bytes.emplace_back(domain, bytes);
+    for (const auto& [domain, bytes] : by_page[static_cast<std::size_t>(p)]) {
+      prof.domain_bytes.emplace_back(domains.intern(domain), bytes);
       prof.total_bytes += bytes;
     }
   }
+  const auto n_domains = domains.names.size();
+  // Domain ids in domain-string order: the deterministic emission order of
+  // the per-level link summaries (the old string-keyed map iterated
+  // sorted; the trace byte stream must not notice the dense rekeying).
+  std::vector<std::uint32_t> domains_by_name(n_domains);
+  for (std::uint32_t id = 0; id < n_domains; ++id) domains_by_name[id] = id;
+  std::sort(domains_by_name.begin(), domains_by_name.end(),
+            [&domains](std::uint32_t a, std::uint32_t b) {
+              return domains.names[a] < domains.names[b];
+            });
 
   // --- Origin link rate: configured, or auto-sized to cross capacity. ---
   const std::vector<double> weights = page_weights(pages, pop.page_skew);
@@ -207,27 +298,27 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
     const double top_level =
         *std::max_element(cfg.offered_levels.begin(),
                           cfg.offered_levels.end());
-    std::map<std::string, double> demand;  // bytes/sec per origin
+    std::vector<double> demand(n_domains, 0.0);  // bytes/sec per origin
     for (int p = 0; p < pages; ++p) {
-      for (const auto& [domain, bytes] :
+      for (const auto& [domain_id, bytes] :
            profiles[static_cast<std::size_t>(p)].domain_bytes) {
-        demand[domain] += top_level * weights[static_cast<std::size_t>(p)] *
-                          static_cast<double>(bytes);
+        demand[domain_id] += top_level * weights[static_cast<std::size_t>(p)] *
+                             static_cast<double>(bytes);
       }
     }
     double hottest = 0;
-    for (const auto& [domain, bps] : demand) {
-      hottest = std::max(hottest, bps);
-    }
+    for (const double bps : demand) hottest = std::max(hottest, bps);
     link_bps = std::max(1.0, cfg.origin_capacity_frac * hottest * 8.0);
   }
   report.origin_link_mbps = link_bps / 1e6;
 
-  // --- Macro: one serial contention pass per offered level. ---
-  std::vector<std::int64_t> bucket_serves(
-      static_cast<std::size_t>(buckets), 0);
+  // --- Macro: one contention pass per offered level, on the pool. ---
+  std::vector<LevelRun> runs(cfg.offered_levels.size());
+  const double macro_started = monotonic_seconds();
 
-  for (std::size_t li = 0; li < cfg.offered_levels.size(); ++li) {
+  fleet::run_tasks(cfg.offered_levels.size(), [&](std::size_t li) {
+    LevelRun& run = runs[li];
+    run.bucket_serves.assign(static_cast<std::size_t>(buckets), 0);
     PopulationConfig level_pop = pop;
     level_pop.mean_arrivals_per_sec = cfg.offered_levels[li];
     const std::vector<Arrival> arrivals = build_population(
@@ -235,25 +326,31 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
         sim::derive_seed(cfg.seed, "deploy:level-" + std::to_string(li)),
         env.deploy_arrivals);
 
-    sim::EventLoop loop;
-    std::unique_ptr<trace::Recorder> recorder;
-    if (cfg.trace_sink) recorder = std::make_unique<trace::Recorder>(loop);
+    run.loop = std::make_unique<sim::EventLoop>();
+    sim::EventLoop& loop = *run.loop;
+    if (cfg.trace_sink) {
+      run.recorder = std::make_unique<trace::Recorder>(loop);
+    }
+    trace::Recorder* recorder = run.recorder.get();
 
     FrontEnd fe(corpus, cfg.front_end,
                 sim::derive_seed(cfg.seed, "deploy:frontend"));
-    std::map<std::string, std::unique_ptr<net::Link>> links;
-    const auto link_for = [&](const std::string& domain) -> net::Link& {
-      auto it = links.find(domain);
-      if (it == links.end()) {
-        it = links
-                 .emplace(domain, std::make_unique<net::Link>(
-                                      loop, link_bps, "origin"))
-                 .first;
+    // Per-level macro state lives on a pooled bump arena: the dense link
+    // table and the Link instances themselves (trivially destructible, so
+    // arena placement needs no teardown) are built, replayed through, and
+    // dropped wholesale when the level finishes.
+    sim::PooledArena arena;
+    std::pmr::vector<net::Link*> links(n_domains, nullptr, arena.get());
+    const auto link_for = [&](std::uint32_t domain_id) -> net::Link& {
+      net::Link*& slot = links[domain_id];
+      if (slot == nullptr) {
+        slot = new (arena->allocate(sizeof(net::Link), alignof(net::Link)))
+            net::Link(loop, link_bps, "origin");
       }
-      return *it->second;
+      return *slot;
     };
 
-    LevelReport level;
+    LevelReport& level = run.report;
     level.offered_per_sec = cfg.offered_levels[li];
     level.arrivals = static_cast<std::int64_t>(arrivals.size());
     double origin_wait_sum_s = 0;
@@ -262,86 +359,101 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
     // histogram-derived report percentiles are deterministic level facts,
     // not opt-in telemetry.
     obs::Histogram level_hist;
+    level.plt_seconds.reserve(arrivals.size());
 
+    // Direct replay: the arrival stream is already time-sorted and nothing
+    // ever schedules ahead of it, so the clock advances arrival by arrival
+    // instead of through a heap event per page view. Link completions need
+    // no events either — the FIFO story is busy_until arithmetic
+    // (Link::enqueue), and the no-op delivery callbacks the event-driven
+    // form paid for carried no state.
     for (const Arrival& a : arrivals) {
-      loop.schedule_at(a.at, [&, a] {
-        const sim::Time now = loop.now();
-        const web::DeviceProfile& device = mix[a.device].device;
-        const ServeDecision d =
-            fe.serve(now, a.page, device, recorder.get());
+      loop.advance_to(a.at);
+      const sim::Time now = a.at;
+      const web::DeviceProfile& device = mix[a.device].device;
+      const ServeDecision d = fe.serve(now, a.page, device, recorder);
 
-        const int bucket = micro.bucket_for(d.source, d.staleness);
-        sim::Time base;
-        if (a.warm) {
-          base = micro.warm_plt[a.device][static_cast<std::size_t>(a.page)];
-        } else {
-          base = micro.plt[a.device][static_cast<std::size_t>(bucket)]
-                          [static_cast<std::size_t>(a.page)];
-        }
-        if (d.source != HintSource::None) {
-          bucket_serves[static_cast<std::size_t>(bucket)] += 1;
-        }
+      const int bucket = micro.bucket_for(d.source, d.staleness);
+      sim::Time base;
+      if (a.warm) {
+        base = micro.warm_plt[a.device][static_cast<std::size_t>(a.page)];
+      } else {
+        base = micro.plt[a.device][static_cast<std::size_t>(bucket)]
+                        [static_cast<std::size_t>(a.page)];
+      }
+      if (d.source != HintSource::None) {
+        run.bucket_serves[static_cast<std::size_t>(bucket)] += 1;
+      }
 
-        // Every origin of the page ships its bytes through that origin's
-        // shared access link; the page stalls for the worst queue it hits.
-        const PageProfile& prof = profiles[static_cast<std::size_t>(a.page)];
-        sim::Time origin_wait = 0;
-        for (const auto& [domain, bytes] : prof.domain_bytes) {
-          net::Link& link = link_for(domain);
-          origin_wait =
-              std::max(origin_wait,
-                       std::max<sim::Time>(0, link.busy_until() - now));
-          const auto tx_bytes = static_cast<std::int64_t>(
-              a.warm ? static_cast<double>(bytes) * prof.warm_bytes_frac
-                     : static_cast<double>(bytes));
-          if (tx_bytes > 0) {
-            // Emit the transmission's full FIFO story for the macro-trace
-            // auditor: when it joined the queue, when the link actually
-            // started it, and how long it held the link.
-            const sim::Time start = std::max(now, link.busy_until());
-            const sim::Time tx = link.tx_time(tx_bytes);
-            link.transmit(tx_bytes, [] {});
-            if (recorder != nullptr) {
-              recorder->instant(
-                  trace::Layer::Deploy, domain, "tx", "deploy.origin_tx",
-                  {trace::arg("enqueue_us", now),
-                   trace::arg("start_us", start), trace::arg("tx_us", tx),
-                   trace::arg("bytes", tx_bytes)});
-            }
+      // Every origin of the page ships its bytes through that origin's
+      // shared access link; the page stalls for the worst queue it hits.
+      const PageProfile& prof = profiles[static_cast<std::size_t>(a.page)];
+      sim::Time origin_wait = 0;
+      for (const auto& [domain_id, bytes] : prof.domain_bytes) {
+        net::Link& link = link_for(domain_id);
+        origin_wait =
+            std::max(origin_wait,
+                     std::max<sim::Time>(0, link.busy_until() - now));
+        const auto tx_bytes = static_cast<std::int64_t>(
+            a.warm ? static_cast<double>(bytes) * prof.warm_bytes_frac
+                   : static_cast<double>(bytes));
+        if (tx_bytes > 0) {
+          // Emit the transmission's full FIFO story for the macro-trace
+          // auditor: when it joined the queue, when the link actually
+          // started it, and how long it held the link.
+          const sim::Time start = std::max(now, link.busy_until());
+          const sim::Time tx = link.tx_time(tx_bytes);
+          link.enqueue(tx_bytes);
+          if (recorder != nullptr) {
+            recorder->instant(
+                trace::Layer::Deploy, domains.names[domain_id], "tx",
+                "deploy.origin_tx",
+                {trace::arg("enqueue_us", now),
+                 trace::arg("start_us", start), trace::arg("tx_us", tx),
+                 trace::arg("bytes", tx_bytes)});
           }
         }
+      }
 
-        const sim::Time plt =
-            capped(base + d.queue_wait + origin_wait, cfg.micro.timeout);
-        if (plt >= cfg.micro.timeout) level.timeouts += 1;
-        level.plt_seconds.push_back(sim::to_seconds(plt));
-        level_hist.record(plt);
-        record_arrival_metrics(origin_wait, d.queue_wait);
-        // A user gives up at the timeout, so the experienced wait caps there
-        // too — otherwise day-long overload queues dominate the mean.
-        origin_wait_sum_s +=
-            sim::to_seconds(std::min(origin_wait, cfg.micro.timeout));
-        if (recorder != nullptr) {
-          recorder->instant(
-              trace::Layer::Deploy, "population", "arrivals",
-              "deploy.page_view",
-              {trace::arg("page", static_cast<int>(a.page)),
-               trace::arg("plt_s", sim::to_seconds(plt)),
-               trace::arg("origin_wait_ms", sim::to_ms(origin_wait)),
-               trace::arg("source", hint_source_name(d.source)),
-               trace::arg("warm", a.warm ? 1 : 0)});
-        }
-      });
+      const sim::Time plt =
+          capped(base + d.queue_wait + origin_wait, cfg.micro.timeout);
+      if (plt >= cfg.micro.timeout) level.timeouts += 1;
+      level.plt_seconds.push_back(sim::to_seconds(plt));
+      level_hist.record(plt);
+      record_arrival_metrics(origin_wait, d.queue_wait);
+      // A user gives up at the timeout, so the experienced wait caps there
+      // too — otherwise day-long overload queues dominate the mean.
+      origin_wait_sum_s +=
+          sim::to_seconds(std::min(origin_wait, cfg.micro.timeout));
+      if (recorder != nullptr) {
+        recorder->instant(
+            trace::Layer::Deploy, "population", "arrivals",
+            "deploy.page_view",
+            {trace::arg("page", static_cast<int>(a.page)),
+             trace::arg("plt_s", sim::to_seconds(plt)),
+             trace::arg("origin_wait_ms", sim::to_ms(origin_wait)),
+             trace::arg("source", hint_source_name(d.source)),
+             trace::arg("warm", a.warm ? 1 : 0)});
+      }
     }
-    loop.run();
+    // The event-driven form ran until its queue drained, leaving the clock
+    // at the last arrival or the last link delivery, whichever was later;
+    // utilization denominators and the summary events depend on it.
+    sim::Time final_now = arrivals.empty() ? 0 : arrivals.back().at;
+    for (const net::Link* link : links) {
+      if (link != nullptr) final_now = std::max(final_now, link->busy_until());
+    }
+    loop.advance_to(final_now);
 
     if (recorder != nullptr) {
       // One closing summary per origin, from the link's own accounting —
       // the auditor cross-checks it against the per-transmission events.
-      // `links` is an ordered map, so emission order is deterministic.
-      for (const auto& [domain, link] : links) {
-        recorder->instant(trace::Layer::Deploy, domain, "summary",
-                          "deploy.link_summary",
+      // Ordered by domain string, exactly as the string-keyed map iterated.
+      for (const std::uint32_t domain_id : domains_by_name) {
+        const net::Link* link = links[domain_id];
+        if (link == nullptr) continue;
+        recorder->instant(trace::Layer::Deploy, domains.names[domain_id],
+                          "summary", "deploy.link_summary",
                           {trace::arg("busy_us", link->busy_time()),
                            trace::arg("bytes", link->total_bytes()),
                            trace::arg("now_us", loop.now())});
@@ -388,10 +500,14 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
       level.mean_staleness_s = sim::to_seconds(fs.total_staleness) /
                                static_cast<double>(hinted);
     }
-    for (const auto& [domain, link] : links) {
+    for (const net::Link* link : links) {
+      if (link == nullptr) continue;
       level.max_link_utilization =
           std::max(level.max_link_utilization, link->utilization());
     }
+    // Virtual-plane recording from inside the task is safe and exact: every
+    // mutation commutes (atomic counter adds, fixed-bucket histogram
+    // merges), so the export cannot tell level order from pool order.
     if (obs::metrics_enabled()) {
       obs::Registry& reg = obs::registry();
       reg.histogram("deploy.macro.plt_us").merge(level_hist);
@@ -402,15 +518,29 @@ DeploymentReport run_deployment(const web::Corpus& corpus,
       reg.counter("deploy.frontend.stale_serves").add(fs.stale_serves);
       reg.counter("deploy.frontend.hintless_serves")
           .add(fs.hintless_serves);
-      for (const auto& [domain, link] : links) {
+      for (const net::Link* link : links) {
+        if (link == nullptr) continue;
         reg.histogram("deploy.links.utilization_permille")
             .record(static_cast<std::int64_t>(link->utilization() * 1000.0 +
                                               0.5));
       }
     }
-    report.levels.push_back(std::move(level));
-    if (cfg.trace_sink && recorder != nullptr) {
-      cfg.trace_sink(static_cast<int>(li), *recorder);
+  });
+  report.macro_wall_seconds = monotonic_seconds() - macro_started;
+
+  // Level-order assembly: reports, bucket-serve totals, and trace sinks
+  // leave here exactly as the serial pass produced them.
+  std::vector<std::int64_t> bucket_serves(
+      static_cast<std::size_t>(buckets), 0);
+  for (std::size_t li = 0; li < runs.size(); ++li) {
+    LevelRun& run = runs[li];
+    report.macro_arrivals += run.report.arrivals;
+    for (std::size_t b = 0; b < bucket_serves.size(); ++b) {
+      bucket_serves[b] += run.bucket_serves[b];
+    }
+    report.levels.push_back(std::move(run.report));
+    if (cfg.trace_sink && run.recorder != nullptr) {
+      cfg.trace_sink(static_cast<int>(li), *run.recorder);
     }
   }
 

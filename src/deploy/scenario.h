@@ -13,19 +13,28 @@
 //     fetches), and hintless serves — plus a warm-cache revisit column
 //     measured serially (prime + revisit, Figure 20 style).
 //
-//   macro (serial, cheap)        — the population's arrival stream runs
-//     against a deploy::FrontEnd and per-origin net::Link instances on one
-//     event loop. Each page view's PLT is the micro table entry for its
-//     (device, hint condition) plus the front-end's synchronous hint wait
-//     plus the worst per-origin queueing delay it experienced. Queueing is
-//     real FIFO contention: concurrent users share each origin's access
-//     link, so p99 PLT degrades — and loads start timing out — as offered
-//     load crosses link capacity. Nothing is a closed-form approximation
-//     of contention; the queues are simulated.
+//   macro (parallel per level)   — the population's arrival stream runs
+//     against a deploy::FrontEnd and per-origin net::Link instances. Each
+//     page view's PLT is the micro table entry for its (device, hint
+//     condition) plus the front-end's synchronous hint wait plus the worst
+//     per-origin queueing delay it experienced. Queueing is real FIFO
+//     contention: concurrent users share each origin's access link, so p99
+//     PLT degrades — and loads start timing out — as offered load crosses
+//     link capacity. Nothing is a closed-form approximation of contention;
+//     the queues are simulated. Arrivals replay directly over the
+//     time-sorted stream (the link FIFO story is busy_until arithmetic, so
+//     no event heap is involved), and origin links are keyed by dense
+//     interned domain ids, not string maps.
 //
 // Determinism: micro cells run on the fleet (bit-identical at any
-// VROOM_JOBS); the macro pass is serial by construction. The whole report
-// is therefore byte-stable across worker counts.
+// VROOM_JOBS); the warm column parallelizes over independent (device,
+// page) pairs with each pair's prime -> revisit order kept serial; the
+// offered-load levels run concurrently on the same pool because each level
+// owns its entire world (population, FrontEnd, links, recorder) — reports,
+// bucket-serve totals, and trace sinks are assembled in level order after
+// the join, and every shared obs metric merges commutatively (counter
+// adds, gauge maxima, fixed-boundary histogram bucket adds). The whole
+// report is therefore byte-stable across worker counts.
 #pragma once
 
 #include <cstdint>
@@ -133,13 +142,24 @@ struct DeploymentReport {
   MicroTable micro;
   std::vector<LevelReport> levels;
   std::vector<StaleBucketReport> stale_buckets;  // ages, fresh first
+  // Total arrivals replayed across all levels (deterministic).
+  std::int64_t macro_arrivals = 0;
+  // Wall-clock seconds of the macro passes / the warm-revisit column —
+  // wall-plane throughput facts for bench reporting (stderr only); never
+  // part of any byte-identity check.
+  double macro_wall_seconds = 0;
+  double warm_wall_seconds = 0;
 };
 
-// Runs the full scenario: micro table on the fleet, then one macro pass
-// per offered level. Honours VROOM_DEPLOY_ARRIVALS (cap arrivals per
-// level) and VROOM_DEPLOY_WINDOW_HOURS (override cfg.population.window)
-// for quick runs; the caller sizes the corpus (apply VROOM_BENCH_PAGES via
+// Runs the full scenario: micro table on the fleet, then the warm column
+// and one macro pass per offered level on the same worker pool. Honours
+// VROOM_DEPLOY_ARRIVALS (cap arrivals per level) and
+// VROOM_DEPLOY_WINDOW_HOURS (override cfg.population.window) for quick
+// runs; the caller sizes the corpus (apply VROOM_BENCH_PAGES via
 // harness::effective_page_count when constructing it, as the example does).
+// Refuses VROOM_SHARD / VROOM_SHARD_DIR with a hard diagnostic: the
+// embedded micro SweepPlan would shard by cell while the warm column and
+// macro passes silently re-ran whole in every shard process.
 DeploymentReport run_deployment(const web::Corpus& corpus,
                                 const ScenarioConfig& cfg);
 

@@ -297,6 +297,32 @@ int resolve_worker_count(int requested) {
   return resolve_worker_count(requested, harness::Env::from_environment());
 }
 
+void run_tasks(std::size_t count, const std::function<void(std::size_t)>& fn,
+               int workers) {
+  if (count == 0) return;
+  int resolved = resolve_worker_count(workers);
+  if (static_cast<std::size_t>(resolved) > count) {
+    resolved = static_cast<int>(count);
+  }
+  if (resolved <= 1) {
+    // Serial path: index order on the calling thread (VROOM_JOBS=1 replays
+    // the serial visit order, mirroring run_plan's one-worker mode).
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+         i < count; i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(resolved));
+  for (int w = 0; w < resolved; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
 std::vector<harness::CorpusResult> run_plan(const SweepPlan& plan,
                                             const FleetOptions& fleet) {
   const int n_cells = static_cast<int>(plan.cells.size());

@@ -37,7 +37,9 @@
 // stdout and CSVs byte-identical to a single-process sweep.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -66,6 +68,18 @@ struct FleetOptions {
 // The one-argument overload takes a fresh environment snapshot.
 int resolve_worker_count(int requested, const harness::Env& env);
 int resolve_worker_count(int requested);
+
+// Reusable pool entry point beneath run_plan's sweep machinery: runs
+// `count` independent tasks `fn(0) .. fn(count-1)` on `workers` threads
+// (0 = resolve like run_plan: VROOM_JOBS, else hardware), claiming indices
+// from one atomic cursor. With one worker — or one task — the tasks run in
+// index order on the calling thread, the VROOM_JOBS=1 serial-replay mode.
+// The caller owns the fleet determinism contract: tasks must be mutually
+// independent (disjoint output slots, no claim-order-dependent state), so
+// results cannot depend on the worker count. Used by the deployment
+// scenario for its warm-revisit column and per-level macro passes.
+void run_tasks(std::size_t count, const std::function<void(std::size_t)>& fn,
+               int workers = 0);
 
 // One cell of a sweep: a full corpus swept under one strategy with its own
 // RunOptions. Cells are independent — different corpora, seeds, networks,

@@ -17,7 +17,7 @@ sim::Time Link::tx_time(std::int64_t bytes) const {
                                 0.5);
 }
 
-void Link::transmit(std::int64_t bytes, std::function<void()> on_delivered) {
+sim::Time Link::enqueue(std::int64_t bytes) {
   const sim::Time start = std::max(loop_.now(), busy_until_);
   const sim::Time done = start + tx_time(bytes);
   busy_time_ += done - start;
@@ -33,6 +33,11 @@ void Link::transmit(std::int64_t bytes, std::function<void()> on_delivered) {
     tr->counters().set_max(std::string("net.") + name_ + "_max_queued_us",
                            queued);
   }
+  return done;
+}
+
+void Link::transmit(std::int64_t bytes, std::function<void()> on_delivered) {
+  const sim::Time done = enqueue(bytes);
   loop_.schedule_at(done, std::move(on_delivered));
 }
 

@@ -28,6 +28,14 @@ class Link {
   // bit clears the link. Transmissions queue FIFO behind earlier ones.
   void transmit(std::int64_t bytes, std::function<void()> on_delivered);
 
+  // transmit() minus the completion event: identical FIFO accounting
+  // (busy_until/busy_time/total_bytes) and the identical trace counters,
+  // but nothing is scheduled. Returns the time the last bit clears the
+  // link. For direct-replay callers (deploy's macro pass) that only need
+  // the queueing arithmetic — the FIFO story is busy_until_ plus tx_time,
+  // so the heap event behind transmit() is pure overhead there.
+  sim::Time enqueue(std::int64_t bytes);
+
   // Time the link becomes idle given everything queued so far.
   sim::Time busy_until() const { return busy_until_; }
 

@@ -60,24 +60,42 @@ void TcpConnection::send_request(std::int64_t bytes,
 
 TcpConnection::Stream& TcpConnection::stream_for(std::uint32_t id,
                                                  int priority) {
-  for (auto& s : streams_) {
-    if (s.id == id) return s;
-  }
+  const auto it = stream_index_.find(id);
+  if (it != stream_index_.end()) return streams_[it->second];
+  stream_index_.emplace(id, streams_.size());
   streams_.push_back(Stream{id, priority, {}, 0, 0});
   return streams_.back();
+}
+
+void TcpConnection::activate(std::size_t stream_index) {
+  const auto it =
+      std::lower_bound(active_.begin(), active_.end(), stream_index);
+  if (it == active_.end() || *it != stream_index) {
+    active_.insert(it, stream_index);
+  }
+}
+
+void TcpConnection::deactivate(std::size_t stream_index) {
+  const auto it =
+      std::lower_bound(active_.begin(), active_.end(), stream_index);
+  if (it != active_.end() && *it == stream_index) active_.erase(it);
 }
 
 void TcpConnection::send_chunk(std::uint32_t stream_id, int priority,
                                Chunk chunk) {
   assert(established_);
   const std::int64_t bytes = std::max<std::int64_t>(chunk.bytes, 1);
-  stream_for(stream_id, priority)
-      .chunks.push_back(PendingChunk{std::move(chunk), bytes, bytes});
+  Stream& s = stream_for(stream_id, priority);
+  const bool was_exhausted = s.exhausted();
+  s.chunks.push_back(PendingChunk{std::move(chunk), bytes, bytes});
+  if (was_exhausted) {
+    activate(static_cast<std::size_t>(&s - streams_.data()));
+  }
   pump();
 }
 
 TcpConnection::Stream* TcpConnection::pick_stream() {
-  if (streams_.empty()) return nullptr;
+  if (active_.empty()) return nullptr;
   // HTTP/2 flow control: a stream with a full window cannot send even if
   // the connection's congestion window has room; another stream may.
   auto flow_open = [&](const Stream& s) {
@@ -85,22 +103,32 @@ TcpConnection::Stream* TcpConnection::pick_stream() {
            s.inflight < stream_window_;
   };
   if (discipline_ == WriterDiscipline::Ordered) {
-    for (auto& s : streams_) {
-      if (!s.exhausted() && flow_open(s)) return &s;
+    for (const std::size_t idx : active_) {
+      Stream& s = streams_[idx];
+      if (flow_open(s)) return &s;
     }
     return nullptr;
   }
   // Highest-priority active streams first; round-robin within the tier.
   int best = INT_MIN;
-  for (const auto& s : streams_) {
-    if (!s.exhausted() && flow_open(s)) best = std::max(best, s.priority);
+  for (const std::size_t idx : active_) {
+    const Stream& s = streams_[idx];
+    if (flow_open(s)) best = std::max(best, s.priority);
   }
   if (best == INT_MIN) return nullptr;
+  // Cyclic scan from rr_next_, restricted to the active subsequence: the
+  // same stream the full positional scan would reach, since exhausted
+  // streams never matched it anyway.
   const std::size_t n = streams_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    Stream& s = streams_[(rr_next_ + i) % n];
-    if (!s.exhausted() && flow_open(s) && s.priority == best) {
-      rr_next_ = (rr_next_ + i + 1) % n;
+  const std::size_t m = active_.size();
+  const std::size_t base = static_cast<std::size_t>(
+      std::lower_bound(active_.begin(), active_.end(), rr_next_) -
+      active_.begin());
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t idx = active_[(base + k) % m];
+    Stream& s = streams_[idx];
+    if (flow_open(s) && s.priority == best) {
+      rr_next_ = (idx + 1) % n;
       return &s;
     }
   }
@@ -125,6 +153,7 @@ void TcpConnection::pump() {
     s->inflight += seg;
     const std::size_t stream_index =
         static_cast<std::size_t>(s - streams_.data());
+    if (s->exhausted()) deactivate(stream_index);
     // A lost segment is recovered after a retransmission timeout and costs
     // the flow half its window; the retransmit then takes the normal path.
     sim::Time extra = 0;

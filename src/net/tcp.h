@@ -19,6 +19,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/network.h"
@@ -89,7 +90,10 @@ class TcpConnection {
     std::size_t send_cursor = 0;     // first chunk with to_send > 0
     std::size_t deliver_cursor = 0;  // first chunk with to_deliver > 0
     std::int64_t inflight = 0;       // un-acknowledged bytes (flow control)
-    // Hot: pick_stream() scans every stream per pumped segment.
+    // Exact "no bytes left to send": chunks after send_cursor always have
+    // to_send > 0 (pump drains strictly in order), so checking the cursor
+    // chunk suffices. Transitions are tracked in `active_` — pick_stream()
+    // scans only non-exhausted streams per pumped segment.
     bool exhausted() const {
       return send_cursor >= chunks.size() ||
              (send_cursor == chunks.size() - 1 &&
@@ -99,6 +103,11 @@ class TcpConnection {
 
   Stream& stream_for(std::uint32_t id, int priority);
   Stream* pick_stream();
+  // Maintain `active_` (sorted indices of non-exhausted streams) across the
+  // two transitions: a send_chunk() on a drained stream re-activates it, a
+  // pump() that takes a stream's last pending byte exhausts it.
+  void activate(std::size_t stream_index);
+  void deactivate(std::size_t stream_index);
   void pump();
   void on_segment_at_client(std::size_t stream_index, std::int64_t seg);
   void on_ack(std::size_t stream_index, std::int64_t seg);
@@ -112,6 +121,12 @@ class TcpConnection {
   bool established_ = false;
 
   std::vector<Stream> streams_;  // in first-write order
+  // Stream id -> index into streams_ (stream_for without the linear scan).
+  std::unordered_map<std::uint32_t, std::size_t> stream_index_;
+  // Sorted indices of non-exhausted streams; the subsequence of streams_
+  // both writer disciplines actually consider, so scanning it preserves
+  // their pick order exactly while skipping the drained (typical) majority.
+  std::vector<std::size_t> active_;
   std::size_t rr_next_ = 0;
 
   std::int64_t cwnd_ = 0;

@@ -72,6 +72,17 @@ class EventLoop {
   // event lies beyond `until`.
   bool step(Time until = kNever);
 
+  // Advances virtual time to `at` without executing anything; never rewinds
+  // (`at` <= now() is a no-op). The direct-replay entry point: a caller
+  // that already holds a time-sorted work stream (deploy's macro arrival
+  // replay) moves the clock itself instead of paying a heap event per item,
+  // and everything stamped off now() — trace events, link accounting —
+  // reads the same times the event-driven equivalent would. The caller owns
+  // the invariant that no pending event is being jumped over.
+  void advance_to(Time at) {
+    if (at > now_) now_ = at;
+  }
+
   bool empty() const { return live_ == 0; }
   std::size_t pending() const { return live_; }
 

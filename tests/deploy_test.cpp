@@ -6,7 +6,10 @@
 #include "deploy/scenario.h"
 
 #include <cstdint>
+#include <fstream>
 #include <map>
+#include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -14,6 +17,7 @@
 
 #include "deploy/front_end.h"
 #include "deploy/population.h"
+#include "obs/metrics.h"
 #include "scoped_env.h"
 #include "web/corpus.h"
 
@@ -21,6 +25,13 @@ namespace vroom {
 namespace {
 
 using testutil::ScopedEnv;
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
 
 deploy::PopulationConfig small_population() {
   deploy::PopulationConfig cfg;
@@ -198,8 +209,9 @@ TEST(FrontEnd, CrawlScheduleIsPeriodicAndThroughputBound) {
   }
 }
 
-// The flagship contract: the whole report — fleet-built micro table plus
-// serial macro pass — is bit-identical at any worker count.
+// The flagship contract: the whole report — fleet-built micro table, the
+// pool-parallel warm column, and the concurrent per-level macro passes —
+// is bit-identical at any worker count.
 TEST(Scenario, ReportBitIdenticalAcrossJobCounts) {
   ScopedEnv cache(/*result cache off*/ "VROOM_RESULT_CACHE", nullptr);
   ScopedEnv trace("VROOM_TRACE", nullptr);
@@ -224,11 +236,21 @@ TEST(Scenario, ReportBitIdenticalAcrossJobCounts) {
     EXPECT_EQ(a.origin_link_mbps, b.origin_link_mbps);
     EXPECT_EQ(a.micro.plt, b.micro.plt);
     EXPECT_EQ(a.micro.warm_plt, b.micro.warm_plt);
+    EXPECT_EQ(a.macro_arrivals, b.macro_arrivals);
     for (std::size_t i = 0; i < a.levels.size(); ++i) {
       EXPECT_EQ(a.levels[i].arrivals, b.levels[i].arrivals);
       EXPECT_EQ(a.levels[i].timeouts, b.levels[i].timeouts);
       // Byte-identical, not approximately equal.
       ASSERT_EQ(a.levels[i].plt_seconds, b.levels[i].plt_seconds);
+      EXPECT_EQ(a.levels[i].served_per_sec, b.levels[i].served_per_sec);
+      EXPECT_EQ(a.levels[i].p50_plt_s, b.levels[i].p50_plt_s);
+      EXPECT_EQ(a.levels[i].p99_plt_s, b.levels[i].p99_plt_s);
+      EXPECT_EQ(a.levels[i].hist_p50_plt_s, b.levels[i].hist_p50_plt_s);
+      EXPECT_EQ(a.levels[i].hist_p99_plt_s, b.levels[i].hist_p99_plt_s);
+      EXPECT_EQ(a.levels[i].mean_origin_wait_s,
+                b.levels[i].mean_origin_wait_s);
+      EXPECT_EQ(a.levels[i].max_link_utilization,
+                b.levels[i].max_link_utilization);
       EXPECT_EQ(a.levels[i].front_end.cache_hits,
                 b.levels[i].front_end.cache_hits);
       EXPECT_EQ(a.levels[i].front_end.stale_serves,
@@ -240,6 +262,64 @@ TEST(Scenario, ReportBitIdenticalAcrossJobCounts) {
       EXPECT_EQ(a.stale_buckets[i].persistence,
                 b.stale_buckets[i].persistence);
     }
+  }
+}
+
+// Same contract, one layer further out: the virtual-plane metrics the run
+// exports. The concurrent level passes all record into the shared registry,
+// and every mutation commutes (counter adds, gauge maxima, fixed-bucket
+// histogram increments), so metrics.csv / metrics.prom must match byte for
+// byte whatever the worker pool looked like.
+TEST(Scenario, ExportedMetricsByteIdenticalAcrossJobCounts) {
+  ScopedEnv cache("VROOM_RESULT_CACHE", nullptr);
+  ScopedEnv trace("VROOM_TRACE", nullptr);
+  ScopedEnv cap("VROOM_DEPLOY_ARRIVALS", "300");
+  ScopedEnv window("VROOM_DEPLOY_WINDOW_HOURS", "2");
+  const web::Corpus corpus = web::Corpus::smoke(42, 3);
+
+  deploy::ScenarioConfig cfg;
+  cfg.offered_levels = {0.2, 2.0};
+  cfg.stale_ages = {sim::hours(1)};
+  cfg.population.users = 200;
+
+  const std::string base = testing::TempDir() + "vroom_deploy_metrics_j";
+  std::vector<std::string> dirs;
+  for (const char* jobs : {"1", "2", "4"}) {
+    const std::string dir = base + jobs;
+    ScopedEnv metrics("VROOM_METRICS", dir.c_str());
+    ScopedEnv env("VROOM_JOBS", jobs);
+    (void)deploy::run_deployment(corpus, cfg);
+    dirs.push_back(dir);
+  }
+  // The fleet flipped the gate on from VROOM_METRICS; leave it as later
+  // tests expect to find it.
+  obs::set_metrics_enabled(false);
+
+  // Virtual plane only: the wall sidecar is timing and is allowed to vary.
+  for (const char* file : {"/metrics.csv", "/metrics.prom"}) {
+    const std::string first = read_file(dirs[0] + file);
+    ASSERT_FALSE(first.empty()) << "missing export: " << dirs[0] + file;
+    for (std::size_t j = 1; j < dirs.size(); ++j) {
+      EXPECT_EQ(first, read_file(dirs[j] + file))
+          << file << " diverged between jobs=1 and jobs=" << dirs[j].back();
+    }
+  }
+}
+
+// Sharding splits figure sweeps; inside the deployment scenario it would
+// split only the embedded micro plan while every shard process re-ran the
+// warm column and macro passes whole. The scenario must die loudly instead
+// of producing n slightly-wrong copies.
+TEST(ScenarioDeathTest, RefusesShardEnvironment) {
+  const web::Corpus corpus = web::Corpus::smoke(42, 2);
+  const deploy::ScenarioConfig cfg;
+  {
+    ScopedEnv shard("VROOM_SHARD", "0/2");
+    EXPECT_DEATH((void)deploy::run_deployment(corpus, cfg), "cannot shard");
+  }
+  {
+    ScopedEnv dir("VROOM_SHARD_DIR", testing::TempDir().c_str());
+    EXPECT_DEATH((void)deploy::run_deployment(corpus, cfg), "cannot shard");
   }
 }
 

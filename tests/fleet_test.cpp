@@ -136,6 +136,45 @@ TEST(Fleet, WorkerCountResolution) {
   }
 }
 
+TEST(Fleet, RunTasksCoversEveryIndexExactlyOnce) {
+  ScopedEnv jobs_env("VROOM_JOBS", nullptr);
+  for (const int workers : {1, 2, 4, 16}) {
+    std::vector<std::atomic<int>> hits(103);
+    for (auto& h : hits) h.store(0);
+    fleet::run_tasks(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); }, workers);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at " << workers
+                                   << " workers";
+    }
+  }
+}
+
+TEST(Fleet, RunTasksSerialPathPreservesIndexOrder) {
+  ScopedEnv jobs_env("VROOM_JOBS", nullptr);
+  std::vector<std::size_t> order;
+  fleet::run_tasks(8, [&](std::size_t i) { order.push_back(i); },
+                   /*workers=*/1);
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  // Zero tasks is a no-op at any worker count, not a crash or a hang.
+  fleet::run_tasks(0, [&](std::size_t) { FAIL() << "ran a task"; }, 4);
+  // More workers than tasks must not invent extra calls.
+  std::atomic<int> calls{0};
+  fleet::run_tasks(2, [&](std::size_t) { calls.fetch_add(1); }, 16);
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(Fleet, RunTasksHonorsVroomJobsEnv) {
+  // workers=0 resolves through the same VROOM_JOBS path the sweeps use;
+  // with jobs=1 the claim loop must degrade to the in-order serial path.
+  ScopedEnv env("VROOM_JOBS", "1");
+  std::vector<std::size_t> order;
+  fleet::run_tasks(5, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 5u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
 TEST(Fleet, MoreWorkersThanJobsStillIdentical) {
   ScopedEnv jobs_env("VROOM_JOBS", nullptr);
   ScopedEnv pages_env("VROOM_BENCH_PAGES", nullptr);
